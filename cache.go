@@ -1,0 +1,384 @@
+package zcache
+
+import (
+	"fmt"
+
+	"zcache/internal/cache"
+	"zcache/internal/hash"
+	"zcache/internal/repl"
+)
+
+// Cache is a cache controller: an array organization coupled with a
+// replacement policy, with hit/miss, writeback, and replacement-process
+// accounting. It is the type New and the design-specific constructors
+// return.
+type Cache = cache.Cache
+
+// Candidate is one replacement candidate discovered by an array (a node of
+// the zcache walk tree).
+type Candidate = cache.Candidate
+
+// CacheStats are controller-level event counts.
+type CacheStats = cache.Stats
+
+// ArrayCounters are array-level access counts (tag/data reads and writes,
+// walk lookups, relocations) in the units of the paper's §III-B energy
+// accounting.
+type ArrayCounters = cache.Counters
+
+// PolicyKind selects a replacement policy.
+type PolicyKind int
+
+const (
+	// PolicyLRU is full-timestamp LRU (§III-E "Full LRU").
+	PolicyLRU PolicyKind = iota
+	// PolicyBucketedLRU is the paper's evaluated LRU: 8-bit timestamps
+	// bumped every 5% of the cache size (§III-E "Bucketed LRU").
+	PolicyBucketedLRU
+	// PolicyOPT is Belady's optimal policy; it needs a next-use-annotated
+	// trace (see AnnotateNextUse) and panics if driven without one.
+	PolicyOPT
+	// PolicyRandom evicts a deterministic pseudo-random candidate.
+	PolicyRandom
+	// PolicyLFU evicts the least frequently used candidate.
+	PolicyLFU
+	// PolicySRRIP is 2-bit static re-reference interval prediction, the
+	// repository's modern-policy extension.
+	PolicySRRIP
+	// PolicyDRRIP is dynamic RRIP with set-less leader dueling — the
+	// repository's take on §VIII's "replacement policies specifically
+	// suited to the zcache" (no set ordering required).
+	PolicyDRRIP
+)
+
+// DesignKind selects an array organization.
+type DesignKind int
+
+const (
+	// DesignZCache is the paper's contribution: skewed ways plus a
+	// multi-level replacement walk.
+	DesignZCache DesignKind = iota
+	// DesignSetAssociative is a conventional set-associative array with
+	// bit-selected indexing.
+	DesignSetAssociative
+	// DesignSetAssociativeHashed indexes the set-associative array with
+	// an H3 hash (the paper's baseline).
+	DesignSetAssociativeHashed
+	// DesignSkewAssociative is a skew-associative array (a zcache with a
+	// 1-level walk).
+	DesignSkewAssociative
+	// DesignFullyAssociative is the fully-associative reference.
+	DesignFullyAssociative
+	// DesignRandomCandidates is the §IV-B random-candidates construction
+	// (candidates drawn uniformly from the whole array).
+	DesignRandomCandidates
+	// DesignVictimCache is the §II-B comparator: a set-associative main
+	// array with a small fully-associative victim buffer (tags-only
+	// miss-rate model).
+	DesignVictimCache
+	// DesignColumnAssociative is the §II-B comparator: direct-mapped with
+	// primary/secondary locations and swap-on-secondary-hit (tags-only
+	// miss-rate model; Ways must be 1).
+	DesignColumnAssociative
+)
+
+// Config describes a cache to build.
+type Config struct {
+	// CapacityBytes is total capacity; it must divide evenly into
+	// LineBytes × Ways power-of-two rows.
+	CapacityBytes uint64
+	// LineBytes is the line size (a power of two).
+	LineBytes uint64
+	// Ways is the number of physical ways.
+	Ways int
+	// Design selects the organization; the zero value is DesignZCache.
+	Design DesignKind
+	// WalkLevels is the zcache walk depth (ignored by other designs);
+	// 0 defaults to 2 (the paper's Z4/16 shape).
+	WalkLevels int
+	// Candidates sets the random-candidates design's draw count
+	// (ignored by other designs); 0 defaults to 16.
+	Candidates int
+	// VictimEntries sets the victim-cache buffer size (ignored by other
+	// designs); 0 defaults to 16.
+	VictimEntries int
+	// Policy selects the replacement policy.
+	Policy PolicyKind
+	// Hash selects the hash family for hashed/skewed/z designs; the zero
+	// value is HashH3 (the paper's choice). HashSHA1 is the §IV-C
+	// quality yardstick.
+	Hash HashKind
+	// Seed makes hash functions and stochastic policies reproducible.
+	Seed uint64
+	// MaxWalkCandidates, if positive, stops zcache walks early after
+	// this many candidates (the §III early-stop safety valve).
+	MaxWalkCandidates int
+	// AvoidWalkRepeats attaches the §III-D Bloom filter that prunes
+	// repeated candidates (useful for small, TLB-like caches).
+	AvoidWalkRepeats bool
+	// HybridWalkLevels, if positive, enables the §III-D hybrid BFS+DFS
+	// extension: after the first walk selects a victim, the tree is
+	// expanded below it by this many levels and the victim reconsidered,
+	// roughly doubling associativity without extra walk-table state.
+	HybridWalkLevels int
+}
+
+// HashKind selects the per-way hash family (§III-C, §IV-C).
+type HashKind int
+
+const (
+	// HashH3 is the paper's H3 universal family (a few XOR gates per
+	// hash bit in hardware).
+	HashH3 HashKind = iota
+	// HashSHA1 folds a SHA-1 digest — far too slow for hardware, used as
+	// the §IV-C hash-quality yardstick.
+	HashSHA1
+)
+
+// family returns the configured hash.Family.
+func (c Config) family() (hash.Family, error) {
+	switch c.Hash {
+	case HashH3:
+		return hash.H3Family{Seed: c.Seed}, nil
+	case HashSHA1:
+		return hash.SHA1Family{Seed: c.Seed}, nil
+	default:
+		return nil, fmt.Errorf("zcache: unknown hash family %d", c.Hash)
+	}
+}
+
+// lineBits returns log2(LineBytes), validating it is a power of two.
+func (c Config) lineBits() (uint, error) {
+	if c.LineBytes == 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return 0, fmt.Errorf("zcache: line size must be a power of two, got %d", c.LineBytes)
+	}
+	b := uint(0)
+	for l := c.LineBytes; l > 1; l >>= 1 {
+		b++
+	}
+	return b, nil
+}
+
+// New builds a cache from the configuration.
+func New(cfg Config) (*Cache, error) {
+	lineBits, err := cfg.lineBits()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("zcache: ways must be positive, got %d", cfg.Ways)
+	}
+	if cfg.CapacityBytes == 0 || cfg.CapacityBytes%(cfg.LineBytes*uint64(cfg.Ways)) != 0 {
+		return nil, fmt.Errorf("zcache: capacity %d does not divide into %d ways of %dB lines",
+			cfg.CapacityBytes, cfg.Ways, cfg.LineBytes)
+	}
+	blocks := cfg.CapacityBytes / cfg.LineBytes
+	rows := blocks / uint64(cfg.Ways)
+
+	arr, err := buildArray(cfg, rows, int(blocks))
+	if err != nil {
+		return nil, err
+	}
+	pol, err := BuildPolicy(cfg.Policy, arr.Blocks(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cache.New(arr, pol, lineBits)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.HybridWalkLevels > 0 {
+		if err := c.EnableHybridWalk(cfg.HybridWalkLevels); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// buildArray constructs the configured array organization.
+func buildArray(cfg Config, rows uint64, blocks int) (cache.Array, error) {
+	switch cfg.Design {
+	case DesignZCache:
+		levels := cfg.WalkLevels
+		if levels == 0 {
+			levels = 2
+		}
+		fam, err := cfg.family()
+		if err != nil {
+			return nil, err
+		}
+		fns, err := fam.New(cfg.Ways, rows)
+		if err != nil {
+			return nil, err
+		}
+		var opts []cache.ZOption
+		if cfg.MaxWalkCandidates > 0 {
+			opts = append(opts, cache.WithMaxCandidates(cfg.MaxWalkCandidates))
+		}
+		if cfg.AvoidWalkRepeats {
+			opts = append(opts, cache.WithRepeatAvoidance(14, 3))
+		}
+		return cache.NewZCache(rows, fns, levels, opts...)
+	case DesignSetAssociative:
+		idx, err := hash.NewBitSelect(0, rows)
+		if err != nil {
+			return nil, err
+		}
+		return cache.NewSetAssoc(cfg.Ways, rows, idx)
+	case DesignSetAssociativeHashed:
+		fam, err := cfg.family()
+		if err != nil {
+			return nil, err
+		}
+		fns, err := fam.New(1, rows)
+		if err != nil {
+			return nil, err
+		}
+		return cache.NewSetAssoc(cfg.Ways, rows, fns[0])
+	case DesignSkewAssociative:
+		fam, err := cfg.family()
+		if err != nil {
+			return nil, err
+		}
+		fns, err := fam.New(cfg.Ways, rows)
+		if err != nil {
+			return nil, err
+		}
+		return cache.NewSkew(rows, fns)
+	case DesignFullyAssociative:
+		return cache.NewFullyAssoc(blocks)
+	case DesignRandomCandidates:
+		n := cfg.Candidates
+		if n == 0 {
+			n = 16
+		}
+		return cache.NewRandomCandidates(blocks, n, cfg.Seed|1)
+	case DesignVictimCache:
+		entries := cfg.VictimEntries
+		if entries == 0 {
+			entries = 16
+		}
+		idx, err := hash.NewBitSelect(0, rows)
+		if err != nil {
+			return nil, err
+		}
+		return cache.NewVictimCache(cfg.Ways, rows, entries, idx)
+	case DesignColumnAssociative:
+		if cfg.Ways != 1 {
+			return nil, fmt.Errorf("zcache: column-associative is physically direct-mapped; set Ways to 1, got %d", cfg.Ways)
+		}
+		fns, err := (hash.H3Family{Seed: cfg.Seed}).New(2, rows)
+		if err != nil {
+			return nil, err
+		}
+		return cache.NewColumnAssoc(rows, fns[0], fns[1])
+	default:
+		return nil, fmt.Errorf("zcache: unknown design %d", cfg.Design)
+	}
+}
+
+// BuildPolicy constructs a policy instance for a cache of blocks slots.
+// Exposed so callers wrapping policies (e.g. with Instrument) can build the
+// same kinds New does.
+func BuildPolicy(kind PolicyKind, blocks int, seed uint64) (Policy, error) {
+	switch kind {
+	case PolicyLRU:
+		return repl.NewLRU(blocks)
+	case PolicyBucketedLRU:
+		return repl.PaperBucketedLRU(blocks)
+	case PolicyOPT:
+		return repl.NewOPT(blocks)
+	case PolicyRandom:
+		return repl.NewRandom(blocks, seed|1)
+	case PolicyLFU:
+		return repl.NewLFU(blocks)
+	case PolicySRRIP:
+		return repl.NewSRRIP(blocks, 2)
+	case PolicyDRRIP:
+		return repl.NewDRRIP(blocks, 2, seed|1)
+	default:
+		return nil, fmt.Errorf("zcache: unknown policy %d", kind)
+	}
+}
+
+// Policy is the replacement-policy interface of the paper's §IV model: it
+// ranks all resident blocks globally and selects victims among the array's
+// candidates.
+type Policy = repl.Policy
+
+// BlockID identifies a physical slot in an array.
+type BlockID = repl.BlockID
+
+// NewWithPolicy builds a cache around a caller-constructed policy (for
+// instrumented or custom policies). The policy must be sized for the
+// configured block count.
+func NewWithPolicy(cfg Config, pol Policy) (*Cache, error) {
+	lineBits, err := cfg.lineBits()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("zcache: ways must be positive, got %d", cfg.Ways)
+	}
+	if cfg.CapacityBytes == 0 || cfg.CapacityBytes%(cfg.LineBytes*uint64(cfg.Ways)) != 0 {
+		return nil, fmt.Errorf("zcache: capacity %d does not divide into %d ways of %dB lines",
+			cfg.CapacityBytes, cfg.Ways, cfg.LineBytes)
+	}
+	blocks := cfg.CapacityBytes / cfg.LineBytes
+	arr, err := buildArray(cfg, blocks/uint64(cfg.Ways), int(blocks))
+	if err != nil {
+		return nil, err
+	}
+	return cache.New(arr, pol, lineBits)
+}
+
+// SetWalkBudget adjusts a zcache's walk at runtime to at most n replacement
+// candidates (clamped to the design's R(W, L)) — the paper's §VIII
+// "software-controlled associativity" hook. It fails for non-zcache arrays
+// or budgets below the first-level candidate count.
+func SetWalkBudget(c *Cache, n int) error {
+	z, ok := c.Array().(*cache.ZCache)
+	if !ok {
+		return fmt.Errorf("zcache: %s has no walk to budget", c.Array().Name())
+	}
+	return z.SetWalkBudget(n)
+}
+
+// WalkBudget reports a zcache's current candidate bound (0 for non-zcache
+// arrays).
+func WalkBudget(c *Cache) int {
+	if z, ok := c.Array().(*cache.ZCache); ok {
+		return z.WalkBudget()
+	}
+	return 0
+}
+
+// WalkTree returns the replacement candidates the cache's array would
+// gather for a hypothetical miss on addr — the Fig. 1 walk tree, with
+// Level and Parent fields encoding its shape. It charges the array's
+// counters exactly as a real walk would (the tags are physically read), so
+// use it for inspection and education, not inside measured runs. addr's
+// line must not be resident (a resident line never walks).
+func WalkTree(c *Cache, addr uint64) ([]Candidate, error) {
+	if c.Contains(addr) {
+		return nil, fmt.Errorf("zcache: %#x is resident; only misses walk", addr)
+	}
+	return c.Array().Candidates(c.Line(addr), nil), nil
+}
+
+// ReplacementCandidates returns R = W·Σ_{l=0}^{L-1}(W−1)^l, the §III-B
+// candidate count of a W-way, L-level zcache walk.
+func ReplacementCandidates(ways, levels int) int {
+	return cache.ReplacementCandidates(ways, levels)
+}
+
+// WalkLevelsFor returns the smallest walk depth giving at least r
+// candidates for a W-way zcache, plus the exact count at that depth.
+func WalkLevelsFor(ways, r int) (levels, candidates int) {
+	return cache.WalkLevelsFor(ways, r)
+}
+
+// WalkLatency returns the pipelined walk latency in cycles (§III-B).
+func WalkLatency(ways, levels, tagLatency int) int {
+	return cache.WalkLatency(ways, levels, tagLatency)
+}

@@ -1,0 +1,272 @@
+// Command assoclab regenerates the paper's associativity-framework figures:
+//
+//	assoclab -fig 2                 # Fig. 2: uniformity CDFs x^n, linear & semilog
+//	assoclab -fig validate          # §IV-B: random-candidates cache vs x^n
+//	assoclab -fig 3 -panel a|b|c|d  # Fig. 3: measured distributions of real designs
+//
+// Output is plain text: one row per CDF grid point, ready for plotting, plus
+// a KS-distance summary quantifying the match to the uniformity assumption.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"zcache"
+	"zcache/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("assoclab: ")
+	fig := flag.String("fig", "2", `figure to regenerate: "2", "validate", or "3"`)
+	panel := flag.String("panel", "d", `Fig. 3 panel: a (set-assoc), b (set-assoc+H3), c (skew), d (zcache)`)
+	full := flag.Bool("full", false, "use the paper-scale machine (slower)")
+	flag.Parse()
+
+	preset := zcache.QuickPreset()
+	if *full {
+		preset = zcache.FullPreset()
+	}
+	switch *fig {
+	case "2":
+		fig2()
+	case "validate":
+		validate()
+	case "3":
+		fig3(preset, *panel)
+	case "hash":
+		hashQuality()
+	case "conflict":
+		conflictProxy()
+	default:
+		log.Fatalf("unknown figure %q", *fig)
+	}
+}
+
+// conflictProxy demonstrates §IV's three criticisms of conflict misses as an
+// associativity metric, with the streams that break it.
+func conflictProxy() {
+	fmt.Println("§IV: conflict misses as an associativity proxy, and how it fails")
+	fmt.Println()
+	const capacity = 64 * 512 // 512 lines
+	aliased := func() []zcache.Access {
+		var out []zcache.Access
+		for round := 0; round < 100; round++ {
+			for k := uint64(0); k < 256; k++ {
+				out = append(out, zcache.Access{Addr: k * 512 * 64})
+			}
+		}
+		return out
+	}()
+	cyclic := func() []zcache.Access {
+		var out []zcache.Access
+		for i := 0; i < 60000; i++ {
+			out = append(out, zcache.Access{Addr: uint64(i%600) * 64})
+		}
+		return out
+	}()
+	t := stats.NewTable("stream", "design", "design misses", "FA misses", "conflict misses", "negative gap")
+	report := func(stream string, accs []zcache.Access, cfg zcache.Config) {
+		rep, err := zcache.CompareConflictMisses(cfg, accs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := map[zcache.DesignKind]string{
+			zcache.DesignSetAssociative:       fmt.Sprintf("SA-%d", cfg.Ways),
+			zcache.DesignSetAssociativeHashed: fmt.Sprintf("SA-%d-h3", cfg.Ways),
+			zcache.DesignZCache:               "Z4/52",
+		}[cfg.Design]
+		t.AddRow(stream, label, rep.DesignMisses, rep.FullAssocMisses, rep.ConflictMisses, rep.NegativeGap)
+	}
+	base := zcache.Config{CapacityBytes: capacity, LineBytes: 64, Policy: zcache.PolicyLRU, Seed: 1}
+	dm := base
+	dm.Ways, dm.Design = 1, zcache.DesignSetAssociative
+	report("aliased (fits cache)", aliased, dm)
+	z := base
+	z.Ways, z.Design, z.WalkLevels = 4, zcache.DesignZCache, 3
+	report("aliased (fits cache)", aliased, z)
+	sa := base
+	sa.Ways, sa.Design = 4, zcache.DesignSetAssociativeHashed
+	report("cyclic 1.17x capacity", cyclic, sa)
+	fmt.Print(t.String())
+	fmt.Println("\nRow 1: pure conflict misses — the proxy works (direct-mapped aliasing).")
+	fmt.Println("Row 2: the zcache erases them with the same 4 ways.")
+	fmt.Println("Row 3: the anti-LRU cyclic scan makes the proxy NEGATIVE — fully-")
+	fmt.Println("associative LRU misses every access while the restricted design keeps")
+	fmt.Println("hits. This is why §IV replaces the proxy with a distribution.")
+}
+
+// hashQuality reruns §IV-C's closing experiment: the residual deviations of
+// skewed designs shrink with more ways and with better hash functions
+// ("the same experiments using more complex SHA-1 hash functions instead of
+// H3 yield distributions identical to the uniformity assumption").
+func hashQuality() {
+	fmt.Println("§IV-C hash quality: skew-associative KS vs x^W, H3 vs SHA-1 way hashes")
+	fmt.Println()
+	t := stats.NewTable("ways", "family", "evictions", "KS vs x^W")
+	for _, ways := range []int{2, 4, 8} {
+		for _, fam := range []zcache.HashKind{zcache.HashH3, zcache.HashSHA1} {
+			const blocks = 8192
+			pol, err := zcache.BuildPolicy(zcache.PolicyLRU, blocks, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m, err := zcache.Instrument(pol, blocks, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c, err := zcache.NewWithPolicy(zcache.Config{
+				CapacityBytes: blocks * 64, LineBytes: 64, Ways: ways,
+				Design: zcache.DesignSkewAssociative, Hash: fam, Seed: 17,
+			}, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gen, err := zcache.NewZipfGenerator(0, blocks*64*2, 64, 0.6, 0, 0.2, 42)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := 0; i < 1200000; i++ {
+				a, _ := gen.Next()
+				c.Access(a.Addr, a.Write)
+			}
+			name := "h3"
+			if fam == zcache.HashSHA1 {
+				name = "sha1"
+			}
+			d := m.Measured(name)
+			ks, err := zcache.KSDistance(d, zcache.UniformDistribution(ways, len(d.CDF)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.AddRow(ways, name, d.Samples, ks)
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nDeviations shrink with more ways (§IV-C). Note the reproduction twist:")
+	fmt.Println("this H3 family constrains its low submatrix to be invertible, so a")
+	fmt.Println("contiguous working set loads every row *exactly* evenly — better than a")
+	fmt.Println("truly random function (SHA-1), whose Poisson row imbalance costs a few")
+	fmt.Println("KS points at low way counts. Hardware index hashes are built this way.")
+}
+
+// fig2 prints the analytical CDFs of Fig. 2 for n = 4, 8, 16, 64.
+func fig2() {
+	ns := []int{4, 8, 16, 64}
+	fmt.Println("Fig. 2: associativity CDFs under the uniformity assumption, F_A(x) = x^n")
+	fmt.Println("x  " + "F(x) for n=4, 8, 16, 64 (use a log y-axis for the semilog view)")
+	grids := make([]zcache.Distribution, len(ns))
+	for i, n := range ns {
+		grids[i] = zcache.UniformDistribution(n, 100)
+	}
+	for b := 0; b < 100; b += 2 {
+		fmt.Printf("%.2f", float64(b+1)/100)
+		for i := range ns {
+			fmt.Printf("  %.3e", grids[i].CDF[b])
+		}
+		fmt.Println()
+	}
+	// The rarity claim of §IV-B: for 16 candidates, P(e < 0.4) ≈ 1e-6.
+	fmt.Printf("\nP(e <= 0.40) with n=16: %.2e (paper: ~1e-6)\n", grids[2].CDF[39])
+}
+
+// validate runs the random-candidates cache and reports its KS distance to
+// x^n for several n, under two policies (the §IV-B experimental check).
+func validate() {
+	fmt.Println("§IV-B validation: random-candidates cache vs F_A(x) = x^n")
+	t := stats.NewTable("candidates", "policy", "evictions", "KS vs x^n")
+	for _, n := range []int{4, 8, 16} {
+		for _, pk := range []zcache.PolicyKind{zcache.PolicyLRU, zcache.PolicyLFU} {
+			const blocks = 2048
+			pol, err := zcache.BuildPolicy(pk, blocks, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m, err := zcache.Instrument(pol, blocks, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c, err := zcache.NewWithPolicy(zcache.Config{
+				CapacityBytes: blocks * 64, LineBytes: 64, Ways: 1,
+				Design: zcache.DesignRandomCandidates, Candidates: n, Seed: 11,
+			}, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gen, err := zcache.NewZipfGenerator(0, blocks*64*8, 64, 0.7, 0, 0.2, 42)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := 0; i < 800000; i++ {
+				a, _ := gen.Next()
+				c.Access(a.Addr, a.Write)
+			}
+			d := m.Measured("randcand")
+			ks, err := zcache.KSDistance(d, zcache.UniformDistribution(n, len(d.CDF)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.AddRow(n, polName(pk), d.Samples, ks)
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nKS ≈ 0 across n and policies: the derivation of §IV-B holds experimentally.")
+}
+
+func polName(p zcache.PolicyKind) string {
+	switch p {
+	case zcache.PolicyLRU:
+		return "lru"
+	case zcache.PolicyLFU:
+		return "lfu"
+	default:
+		return fmt.Sprintf("policy(%d)", p)
+	}
+}
+
+// fig3 measures the associativity distributions of real designs over the
+// paper's six benchmarks.
+func fig3(preset zcache.Preset, panel string) {
+	e := zcache.NewExperiment(preset)
+	var (
+		p        zcache.Fig3Design
+		variants []int
+		title    string
+	)
+	switch panel {
+	case "a":
+		p, variants, title = zcache.Fig3SetAssoc, []int{4, 16}, "set-associative (bit-selected), 4/16 ways"
+	case "b":
+		p, variants, title = zcache.Fig3SetAssocHash, []int{4, 16}, "set-associative with H3 hashing, 4/16 ways"
+	case "c":
+		p, variants, title = zcache.Fig3Skew, []int{4, 16}, "skew-associative, 4/16 ways"
+	case "d":
+		p, variants, title = zcache.Fig3Z, []int{2, 3}, "4-way zcache, 2/3-level walks (16/52 candidates)"
+	default:
+		log.Fatalf("unknown panel %q", panel)
+	}
+	fmt.Printf("Fig. 3%s: %s — LRU, %s preset\n\n", panel, title, preset.Name)
+	cases, err := e.Fig3(p, variants, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := stats.NewTable("design", "workload", "n", "evictions", "KS vs x^n")
+	for _, c := range cases {
+		t.AddRow(c.Label, c.Workload, c.Candidates, c.Dist.Samples, c.KSvsUniform)
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nCDF grids (x, F(x)) per case:")
+	for _, c := range cases {
+		if c.Dist.CDF == nil {
+			continue
+		}
+		fmt.Printf("\n# %s %s (n=%d)\n", c.Label, c.Workload, c.Candidates)
+		for b := 4; b < len(c.Dist.CDF); b += 5 {
+			fmt.Printf("%.2f %.5f\n", float64(b+1)/float64(len(c.Dist.CDF)), c.Dist.CDF[b])
+		}
+	}
+	_ = os.Stdout
+}

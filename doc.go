@@ -1,0 +1,39 @@
+// Package zcache is a Go implementation of the zcache, the cache design of
+// Sanchez and Kozyrakis, "The ZCache: Decoupling Ways and Associativity"
+// (MICRO-43, 2010), together with every substrate needed to reproduce the
+// paper's evaluation: comparison cache designs (set-associative with and
+// without index hashing, skew-associative, fully-associative, and the
+// random-candidates construction), replacement policies under the paper's
+// global-rank model (LRU, bucketed LRU, OPT/Belady, LFU, Random, SRRIP),
+// the §IV associativity-distribution analysis framework, deterministic
+// synthetic workload generators, a 32-core CMP timing model with MESI
+// directory coherence, and calibrated CACTI/McPAT-style cost models.
+//
+// # The design in one paragraph
+//
+// A zcache indexes each of its W ways with a different hash function, so a
+// line has exactly one slot per way and hits need a single W-way lookup —
+// the latency and energy of a W-way cache. On a miss, the controller walks
+// the tag array breadth-first: the blocks the incoming line conflicts with
+// can themselves move to their other ways' slots, whose occupants can move
+// in turn, yielding R = W·Σ(W−1)^l replacement candidates after L levels.
+// The best candidate under the replacement policy is evicted and the chain
+// of blocks between it and the incoming line's slot is relocated, off the
+// critical path. Associativity is therefore set by R, not W: a 4-way
+// zcache with a 3-level walk behaves like a 52-associative cache.
+//
+// # Quickstart
+//
+//	c, _ := zcache.New(zcache.Config{
+//		CapacityBytes: 1 << 20,
+//		LineBytes:     64,
+//		Ways:          4,
+//		WalkLevels:    3,          // R = 52 candidates
+//		Policy:        zcache.PolicyLRU,
+//		Seed:          42,
+//	})
+//	hit := c.Access(0xdeadbeef, false)
+//
+// See examples/ for runnable programs, DESIGN.md for the system inventory
+// and paper-to-module map, and EXPERIMENTS.md for reproduced results.
+package zcache

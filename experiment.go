@@ -1,0 +1,665 @@
+package zcache
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"zcache/internal/assoc"
+	"zcache/internal/energy"
+	"zcache/internal/sim"
+	"zcache/internal/stats"
+	"zcache/internal/workloads"
+)
+
+// Preset sizes an experiment run. Full is the paper's Table I machine;
+// Quick shrinks the machine and instruction counts so the whole figure
+// suite runs in minutes on a laptop (footprints scale with the L2, so the
+// qualitative results survive).
+type Preset struct {
+	Name                string
+	Cores               int
+	L2Bytes             uint64
+	L2Banks             int
+	InstructionsPerCore uint64
+	// WarmupInstructionsPerCore fast-forwards before measurement (§V).
+	WarmupInstructionsPerCore uint64
+	Seed                      uint64
+}
+
+// FullPreset is the paper-scale machine (32 cores, 8MB L2).
+func FullPreset() Preset {
+	return Preset{Name: "full", Cores: 32, L2Bytes: 8 << 20, L2Banks: 8,
+		InstructionsPerCore: 1 << 20, WarmupInstructionsPerCore: 512 << 10, Seed: 0xC0FFEE}
+}
+
+// QuickPreset is the laptop-scale machine (8 cores, 1MB L2).
+func QuickPreset() Preset {
+	return Preset{Name: "quick", Cores: 8, L2Bytes: 1 << 20, L2Banks: 4,
+		InstructionsPerCore: 200_000, WarmupInstructionsPerCore: 100_000, Seed: 0xC0FFEE}
+}
+
+// TestPreset is the smallest useful machine, for unit tests.
+func TestPreset() Preset {
+	return Preset{Name: "test", Cores: 4, L2Bytes: 512 << 10, L2Banks: 4,
+		InstructionsPerCore: 60_000, WarmupInstructionsPerCore: 20_000, Seed: 0xC0FFEE}
+}
+
+// DesignPoint is one L2 organization in the Fig. 4/5 comparison space.
+type DesignPoint struct {
+	// Label is the paper's name for the design ("SA-16", "Z4/52", ...).
+	Label  string
+	Design sim.Design
+	Ways   int
+}
+
+// BaselineDesign is the paper's baseline: 4-way set-associative with H3
+// index hashing, serial lookup.
+func BaselineDesign() DesignPoint {
+	return DesignPoint{Label: "SA-4", Design: sim.SetAssocH3, Ways: 4}
+}
+
+// Fig4Designs returns the comparison designs of Fig. 4: 16- and 32-way
+// set-associative (hashed), and 4-way zcaches with 1, 2, and 3 levels
+// (Z4/4 = skew, Z4/16, Z4/52).
+func Fig4Designs() []DesignPoint {
+	return []DesignPoint{
+		{Label: "SA-16", Design: sim.SetAssocH3, Ways: 16},
+		{Label: "SA-32", Design: sim.SetAssocH3, Ways: 32},
+		{Label: "Z4/4", Design: sim.SkewAssoc, Ways: 4},
+		{Label: "Z4/16", Design: sim.ZCacheL2, Ways: 4},
+		{Label: "Z4/52", Design: sim.ZCacheL3, Ways: 4},
+	}
+}
+
+// RunResult is the outcome of one (workload, design, policy, lookup) cell.
+type RunResult struct {
+	Workload string
+	Design   DesignPoint
+	Policy   sim.Policy
+	Lookup   energy.Lookup
+	Metrics  sim.Metrics
+	Eval     energy.Result
+}
+
+// IPC returns the run's mean per-core IPC.
+func (r RunResult) IPC() float64 { return r.Eval.IPC }
+
+// MPKI returns the run's L2 misses per kilo-instruction.
+func (r RunResult) MPKI() float64 { return r.Eval.L2MPKI }
+
+// Experiment runs simulation cells with capture reuse for trace-driven
+// policies and a bounded worker pool. Safe for use by one goroutine;
+// internal parallelism is managed by RunMatrix.
+type Experiment struct {
+	Preset Preset
+	Model  *energy.SystemModel
+
+	mu       sync.Mutex
+	captures map[string]*captureSlot
+}
+
+// captureSlot builds one workload's stream exactly once even under
+// concurrent requests.
+type captureSlot struct {
+	once   sync.Once
+	stream *sim.L2Stream
+	err    error
+}
+
+// NewExperiment returns an experiment harness over the preset.
+func NewExperiment(p Preset) *Experiment {
+	m := energy.NewSystemModel()
+	m.Cores = p.Cores
+	return &Experiment{Preset: p, Model: m, captures: map[string]*captureSlot{}}
+}
+
+// config assembles the sim configuration for one cell.
+func (e *Experiment) config(d DesignPoint, pol sim.Policy, lk energy.Lookup) sim.Config {
+	cfg := sim.PaperSystem(d.Design, pol, lk, d.Ways)
+	cfg.Cores = e.Preset.Cores
+	cfg.L2Bytes = e.Preset.L2Bytes
+	cfg.L2Banks = e.Preset.L2Banks
+	cfg.InstructionsPerCore = e.Preset.InstructionsPerCore
+	cfg.WarmupInstructionsPerCore = e.Preset.WarmupInstructionsPerCore
+	cfg.Seed = e.Preset.Seed
+	return cfg
+}
+
+// capture returns (building once) the workload's L1-filtered L2 stream.
+func (e *Experiment) capture(w workloads.Workload) (*sim.L2Stream, error) {
+	e.mu.Lock()
+	slot, ok := e.captures[w.Name]
+	if !ok {
+		slot = &captureSlot{}
+		e.captures[w.Name] = slot
+	}
+	e.mu.Unlock()
+	slot.once.Do(func() {
+		cfg := e.config(BaselineDesign(), sim.PolicyLRU, energy.Serial)
+		gens, err := w.Generators(cfg.Cores, cfg.LineBytes, cfg.L2Bytes, cfg.Seed)
+		if err != nil {
+			slot.err = err
+			return
+		}
+		slot.stream, slot.err = sim.CaptureL2Stream(cfg, gens)
+	})
+	return slot.stream, slot.err
+}
+
+// Run executes one cell. OPT cells replay the workload's captured stream
+// (§VI-B); all other policies run execution-driven.
+func (e *Experiment) Run(w workloads.Workload, d DesignPoint, pol sim.Policy, lk energy.Lookup) (RunResult, error) {
+	cfg := e.config(d, pol, lk)
+	var m sim.Metrics
+	if pol == sim.PolicyOPT {
+		stream, err := e.capture(w)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("capture %s: %w", w.Name, err)
+		}
+		m, err = sim.ReplayL2(cfg, stream)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("replay %s/%s: %w", w.Name, d.Label, err)
+		}
+	} else {
+		gens, err := w.Generators(cfg.Cores, cfg.LineBytes, cfg.L2Bytes, cfg.Seed)
+		if err != nil {
+			return RunResult{}, err
+		}
+		sys, err := sim.NewSystem(cfg, gens)
+		if err != nil {
+			return RunResult{}, err
+		}
+		m, err = sys.Run()
+		if err != nil {
+			return RunResult{}, fmt.Errorf("run %s/%s: %w", w.Name, d.Label, err)
+		}
+	}
+	eval, err := e.Model.Evaluate(cfg.L2Spec(), m.Counts)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{Workload: w.Name, Design: d, Policy: pol, Lookup: lk, Metrics: m, Eval: eval}, nil
+}
+
+// MatrixCell names one cell of a run matrix.
+type MatrixCell struct {
+	Workload workloads.Workload
+	Design   DesignPoint
+	Policy   sim.Policy
+	Lookup   energy.Lookup
+}
+
+// RunMatrix executes cells across a worker pool and returns results in cell
+// order. The first error aborts outstanding work.
+func (e *Experiment) RunMatrix(cells []MatrixCell) ([]RunResult, error) {
+	results := make([]RunResult, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cells[i]
+			results[i], errs[i] = e.Run(c.Workload, c.Design, c.Policy, c.Lookup)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// SuiteWorkloads returns the named subset of the 72-workload suite (all of
+// it if names is empty).
+func SuiteWorkloads(names []string) ([]workloads.Workload, error) {
+	if len(names) == 0 {
+		return workloads.Suite(), nil
+	}
+	var out []workloads.Workload
+	for _, n := range names {
+		w, ok := workloads.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("zcache: unknown workload %q", n)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// Fig4Line is one design's sorted per-workload improvements over the
+// baseline (the monotone lines of Fig. 4).
+type Fig4Line struct {
+	Design DesignPoint
+	// MPKIImprovement[i] is baselineMPKI/designMPKI for the i-th
+	// workload after sorting ascending (≥1 = fewer misses).
+	MPKIImprovement []float64
+	// IPCImprovement[i] is designIPC/baselineIPC, sorted ascending.
+	IPCImprovement []float64
+}
+
+// Fig4 runs the Fig. 4 experiment: every workload on the baseline and each
+// comparison design under the given policy (the paper shows OPT in 4a and
+// LRU in 4b), returning one sorted line per design.
+func (e *Experiment) Fig4(names []string, pol sim.Policy) ([]Fig4Line, error) {
+	ws, err := SuiteWorkloads(names)
+	if err != nil {
+		return nil, err
+	}
+	designs := append([]DesignPoint{BaselineDesign()}, Fig4Designs()...)
+	var cells []MatrixCell
+	for _, w := range ws {
+		for _, d := range designs {
+			cells = append(cells, MatrixCell{Workload: w, Design: d, Policy: pol, Lookup: energy.Serial})
+		}
+	}
+	res, err := e.RunMatrix(cells)
+	if err != nil {
+		return nil, err
+	}
+	// Index results: res is in cell order (workload-major).
+	perDesign := map[string][]RunResult{}
+	baseline := map[string]RunResult{}
+	for i, r := range res {
+		d := cells[i].Design
+		if d.Label == "SA-4" {
+			baseline[r.Workload] = r
+		} else {
+			perDesign[d.Label] = append(perDesign[d.Label], r)
+		}
+	}
+	var lines []Fig4Line
+	for _, d := range Fig4Designs() {
+		line := Fig4Line{Design: d}
+		for _, r := range perDesign[d.Label] {
+			b := baseline[r.Workload]
+			line.MPKIImprovement = append(line.MPKIImprovement, safeRatio(b.MPKI(), r.MPKI()))
+			line.IPCImprovement = append(line.IPCImprovement, safeRatio(r.IPC(), b.IPC()))
+		}
+		sort.Float64s(line.MPKIImprovement)
+		sort.Float64s(line.IPCImprovement)
+		lines = append(lines, line)
+	}
+	return lines, nil
+}
+
+// safeRatio returns num/den, treating a zero denominator as equality when
+// the numerator is also zero (no-miss workloads) and as a large gain
+// otherwise.
+func safeRatio(num, den float64) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 1
+		}
+		return 100
+	}
+	return num / den
+}
+
+// Fig5Cell is one bar of Fig. 5: a design × lookup's IPC and BIPS/W
+// improvements over the serial SA-4 baseline, for one workload or
+// aggregate.
+type Fig5Cell struct {
+	Workload string // workload name, "geomean-all", or "geomean-top10"
+	Design   DesignPoint
+	Lookup   energy.Lookup
+	IPCGain  float64
+	EffGain  float64 // BIPS/W ratio
+}
+
+// Fig5Representatives are the five workloads the paper plots individually.
+var Fig5Representatives = []string{"ammp", "gamess", "cpu2006rand00", "canneal", "cactusADM"}
+
+// Fig5 runs the Fig. 5 experiment under the given policy: all suite
+// workloads, every design × {serial, parallel}, reporting the five
+// representative workloads plus geomeans over the full suite and over the
+// ten most L2 miss-intensive workloads.
+func (e *Experiment) Fig5(names []string, pol sim.Policy) ([]Fig5Cell, error) {
+	ws, err := SuiteWorkloads(names)
+	if err != nil {
+		return nil, err
+	}
+	designs := append([]DesignPoint{BaselineDesign()}, Fig4Designs()...)
+	var cells []MatrixCell
+	for _, w := range ws {
+		for _, d := range designs {
+			for _, lk := range []energy.Lookup{energy.Serial, energy.Parallel} {
+				cells = append(cells, MatrixCell{Workload: w, Design: d, Policy: pol, Lookup: lk})
+			}
+		}
+	}
+	res, err := e.RunMatrix(cells)
+	if err != nil {
+		return nil, err
+	}
+	type key struct {
+		w, d string
+		lk   energy.Lookup
+	}
+	byKey := map[key]RunResult{}
+	for _, r := range res {
+		byKey[key{r.Workload, r.Design.Label, r.Lookup}] = r
+	}
+	// Baseline is serial SA-4.
+	base := func(w string) RunResult { return byKey[key{w, "SA-4", energy.Serial}] }
+
+	// Per-class membership for the §VI-C breakdown.
+	classOf := map[string]string{}
+	for _, w := range ws {
+		classOf[w.Name] = w.Class.String()
+	}
+
+	// Top-10 miss-intensive workloads by baseline MPKI (§VI).
+	mpki := make([]float64, len(ws))
+	for i, w := range ws {
+		mpki[i] = base(w.Name).MPKI()
+	}
+	topK := 10
+	if topK > len(ws) {
+		topK = len(ws)
+	}
+	topIdx := stats.TopKIndices(mpki, topK)
+	topSet := map[string]bool{}
+	for _, i := range topIdx {
+		topSet[ws[i].Name] = true
+	}
+
+	var out []Fig5Cell
+	for _, d := range designs {
+		for _, lk := range []energy.Lookup{energy.Serial, energy.Parallel} {
+			if d.Label == "SA-4" && lk == energy.Serial {
+				continue // the baseline itself
+			}
+			var allIPC, allEff, topIPC, topEff []float64
+			classIPC := map[string][]float64{}
+			classEff := map[string][]float64{}
+			for _, w := range ws {
+				r := byKey[key{w.Name, d.Label, lk}]
+				b := base(w.Name)
+				ipcGain := safeRatio(r.IPC(), b.IPC())
+				effGain := safeRatio(r.Eval.BIPSPerW, b.Eval.BIPSPerW)
+				allIPC = append(allIPC, ipcGain)
+				allEff = append(allEff, effGain)
+				cl := classOf[w.Name]
+				classIPC[cl] = append(classIPC[cl], ipcGain)
+				classEff[cl] = append(classEff[cl], effGain)
+				if topSet[w.Name] {
+					topIPC = append(topIPC, ipcGain)
+					topEff = append(topEff, effGain)
+				}
+				for _, rep := range Fig5Representatives {
+					if w.Name == rep {
+						out = append(out, Fig5Cell{Workload: w.Name, Design: d, Lookup: lk, IPCGain: ipcGain, EffGain: effGain})
+					}
+				}
+			}
+			gAllIPC, err := stats.GeoMean(allIPC)
+			if err != nil {
+				return nil, err
+			}
+			gAllEff, err := stats.GeoMean(allEff)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig5Cell{Workload: "geomean-all", Design: d, Lookup: lk, IPCGain: gAllIPC, EffGain: gAllEff})
+			for cl, gains := range classIPC {
+				if len(gains) == 0 {
+					continue
+				}
+				gIPC, err := stats.GeoMean(gains)
+				if err != nil {
+					return nil, err
+				}
+				gEff, err := stats.GeoMean(classEff[cl])
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Fig5Cell{Workload: "geomean-" + cl, Design: d, Lookup: lk, IPCGain: gIPC, EffGain: gEff})
+			}
+			if len(topIPC) > 0 {
+				gTopIPC, err := stats.GeoMean(topIPC)
+				if err != nil {
+					return nil, err
+				}
+				gTopEff, err := stats.GeoMean(topEff)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Fig5Cell{Workload: "geomean-top10", Design: d, Lookup: lk, IPCGain: gTopIPC, EffGain: gTopEff})
+			}
+		}
+	}
+	return out, nil
+}
+
+// PolicyStudyLine is one policy's sorted per-workload IPC improvements on a
+// fixed Z4/52 array, against the same array under bucketed LRU — the
+// "associativity and replacement policy are separate issues" experiment the
+// paper's §II sets up and defers (§VIII: policies suited to the zcache).
+type PolicyStudyLine struct {
+	Policy          sim.Policy
+	IPCImprovement  []float64
+	MPKIImprovement []float64
+}
+
+// PolicyStudy runs every workload on the Z4/52 design under each policy and
+// returns sorted improvement lines vs the bucketed-LRU reference.
+func (e *Experiment) PolicyStudy(names []string, policies []sim.Policy) ([]PolicyStudyLine, error) {
+	ws, err := SuiteWorkloads(names)
+	if err != nil {
+		return nil, err
+	}
+	d := DesignPoint{Label: "Z4/52", Design: sim.ZCacheL3, Ways: 4}
+	ref := sim.PolicyBucketedLRU
+	var cells []MatrixCell
+	for _, w := range ws {
+		cells = append(cells, MatrixCell{Workload: w, Design: d, Policy: ref, Lookup: energy.Serial})
+		for _, p := range policies {
+			cells = append(cells, MatrixCell{Workload: w, Design: d, Policy: p, Lookup: energy.Serial})
+		}
+	}
+	res, err := e.RunMatrix(cells)
+	if err != nil {
+		return nil, err
+	}
+	base := map[string]RunResult{}
+	perPolicy := map[sim.Policy][]RunResult{}
+	for i, r := range res {
+		if cells[i].Policy == ref {
+			base[r.Workload] = r
+		} else {
+			perPolicy[cells[i].Policy] = append(perPolicy[cells[i].Policy], r)
+		}
+	}
+	var out []PolicyStudyLine
+	for _, p := range policies {
+		line := PolicyStudyLine{Policy: p}
+		for _, r := range perPolicy[p] {
+			b := base[r.Workload]
+			line.IPCImprovement = append(line.IPCImprovement, safeRatio(r.IPC(), b.IPC()))
+			line.MPKIImprovement = append(line.MPKIImprovement, safeRatio(b.MPKI(), r.MPKI()))
+		}
+		sort.Float64s(line.IPCImprovement)
+		sort.Float64s(line.MPKIImprovement)
+		out = append(out, line)
+	}
+	return out, nil
+}
+
+// BandwidthPoint is one workload's §VI-D bandwidth observation on the
+// Z4/52 design.
+type BandwidthPoint struct {
+	Workload string
+	// DemandLoad is core accesses/cycle/bank; TagLoad adds walk lookups.
+	DemandLoad float64
+	TagLoad    float64
+	// MissesPerCyclePerBank positions the point on the self-throttling
+	// curve.
+	MissesPerCyclePerBank float64
+}
+
+// Bandwidth runs the §VI-D array-bandwidth study: every workload on the
+// Z4/52 design under bucketed LRU, reporting per-bank loads.
+func (e *Experiment) Bandwidth(names []string) ([]BandwidthPoint, error) {
+	ws, err := SuiteWorkloads(names)
+	if err != nil {
+		return nil, err
+	}
+	d := DesignPoint{Label: "Z4/52", Design: sim.ZCacheL3, Ways: 4}
+	var cells []MatrixCell
+	for _, w := range ws {
+		cells = append(cells, MatrixCell{Workload: w, Design: d, Policy: sim.PolicyBucketedLRU, Lookup: energy.Serial})
+	}
+	res, err := e.RunMatrix(cells)
+	if err != nil {
+		return nil, err
+	}
+	var out []BandwidthPoint
+	for _, r := range res {
+		mpcb := 0.0
+		if r.Metrics.Counts.Cycles > 0 {
+			mpcb = float64(r.Metrics.Counts.L2Misses) / float64(r.Metrics.Counts.Cycles) / float64(e.Preset.L2Banks)
+		}
+		out = append(out, BandwidthPoint{
+			Workload:              r.Workload,
+			DemandLoad:            r.Metrics.BankDemandLoad,
+			TagLoad:               r.Metrics.BankTagLoad,
+			MissesPerCyclePerBank: mpcb,
+		})
+	}
+	return out, nil
+}
+
+// Fig3Case is one measured associativity distribution of Fig. 3.
+type Fig3Case struct {
+	Label    string
+	Workload string
+	// Candidates is the design's nominal replacement-candidate count
+	// (the n of the uniformity curve it is compared against).
+	Candidates int
+	Dist       Distribution
+	// KSvsUniform quantifies the §IV-C "close match" claim.
+	KSvsUniform float64
+}
+
+// Fig3Workloads are the per-workload lines of Fig. 3 (six benchmarks from
+// the paper's selection).
+var Fig3Workloads = []string{"wupwise", "apsi", "mgrid", "canneal", "fluidanimate", "blackscholes"}
+
+// Fig3Designs names the array organizations of Fig. 3a–d.
+type Fig3Design int
+
+const (
+	// Fig3SetAssoc: unhashed set-associative (Fig. 3a).
+	Fig3SetAssoc Fig3Design = iota
+	// Fig3SetAssocHash: H3-hashed set-associative (Fig. 3b).
+	Fig3SetAssocHash
+	// Fig3Skew: skew-associative (Fig. 3c).
+	Fig3Skew
+	// Fig3Z: 4-way zcache, 2- and 3-level walks (Fig. 3d).
+	Fig3Z
+)
+
+// Fig3 measures associativity distributions for one panel of Fig. 3. The
+// L2-scale single-cache measurement drives the workload's merged L2-level
+// stream (captured through the L1s) into an instrumented cache of the
+// preset's L2 capacity.
+func (e *Experiment) Fig3(panel Fig3Design, variants []int, names []string) ([]Fig3Case, error) {
+	if len(names) == 0 {
+		names = Fig3Workloads
+	}
+	ws, err := SuiteWorkloads(names)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig3Case
+	for _, w := range ws {
+		stream, err := e.capture(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range variants {
+			c, cands, label, err := e.fig3Cache(panel, v)
+			if err != nil {
+				return nil, err
+			}
+			m := c.Policy().(*Instrumented)
+			for _, ref := range stream.Refs {
+				c.Access(ref.Line<<6, ref.Write)
+			}
+			dist := m.Measured(fmt.Sprintf("%s/%s", label, w.Name))
+			ks := -1.0
+			if dist.CDF != nil {
+				ks, err = assoc.KS(dist, assoc.Uniform(cands, assoc.DefaultBins))
+				if err != nil {
+					return nil, err
+				}
+			}
+			out = append(out, Fig3Case{
+				Label:       label,
+				Workload:    w.Name,
+				Candidates:  cands,
+				Dist:        dist,
+				KSvsUniform: ks,
+			})
+		}
+	}
+	return out, nil
+}
+
+// fig3Cache builds one instrumented single-cache design for Fig. 3.
+// variant means ways for the set-associative and skew panels, and walk
+// levels for the zcache panel.
+func (e *Experiment) fig3Cache(panel Fig3Design, variant int) (*Cache, int, string, error) {
+	cfg := Config{
+		CapacityBytes: e.Preset.L2Bytes,
+		LineBytes:     64,
+		Policy:        PolicyLRU,
+		Seed:          e.Preset.Seed,
+	}
+	var label string
+	cands := variant
+	switch panel {
+	case Fig3SetAssoc:
+		cfg.Design = DesignSetAssociative
+		cfg.Ways = variant
+		label = fmt.Sprintf("SA-%d", variant)
+	case Fig3SetAssocHash:
+		cfg.Design = DesignSetAssociativeHashed
+		cfg.Ways = variant
+		label = fmt.Sprintf("SA-%d-h3", variant)
+	case Fig3Skew:
+		cfg.Design = DesignSkewAssociative
+		cfg.Ways = variant
+		label = fmt.Sprintf("Skew-%d", variant)
+	case Fig3Z:
+		cfg.Design = DesignZCache
+		cfg.Ways = 4
+		cfg.WalkLevels = variant
+		cands = ReplacementCandidates(4, variant)
+		label = fmt.Sprintf("Z4/%d", cands)
+	default:
+		return nil, 0, "", fmt.Errorf("zcache: unknown Fig. 3 panel %d", panel)
+	}
+	blocks := int(cfg.CapacityBytes / cfg.LineBytes)
+	pol, err := BuildPolicy(cfg.Policy, blocks, cfg.Seed)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	m, err := Instrument(pol, blocks, 0)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	c, err := NewWithPolicy(cfg, m)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	return c, cands, label, nil
+}

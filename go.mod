@@ -1,0 +1,3 @@
+module zcache
+
+go 1.22

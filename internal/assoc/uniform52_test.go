@@ -1,0 +1,43 @@
+package assoc
+
+import (
+	"testing"
+
+	"zcache/internal/cache"
+	"zcache/internal/hash"
+	"zcache/internal/repl"
+)
+
+func TestZ52LowPriorityEvictionsStayRare(t *testing.T) {
+	// Fig. 2/3's operative claim in the semilog view: with many
+	// candidates, evicting a block of low priority is vanishingly rare.
+	// At R = 52 the measured distribution deviates from x^52 near e≈1
+	// (see TestDiagWalkExposureBias: deep walk levels sample resident
+	// blocks through persistent parent edges, under-sampling long-lived
+	// blocks at low-exposure slots), but the low-priority tail — what the
+	// paper's semilog Fig. 2 emphasizes — must stay tiny.
+	fns, _ := hash.H3Family{Seed: 7}.New(4, 4096)
+	z, _ := cache.NewZCache(4096, fns, 3)
+	pol, _ := repl.NewLRU(z.Blocks())
+	m, _ := Instrument(pol, z.Blocks(), 100)
+	c, _ := cache.New(z, m, 6)
+	state := uint64(5)
+	for i := 0; i < 3000000; i++ {
+		state = hash.Mix64(state)
+		c.Access((state%(16384*8))<<6, false)
+	}
+	d := m.Measured("z52")
+	if d.Samples < 1000000 {
+		t.Fatalf("only %d evictions", d.Samples)
+	}
+	// P(e <= 0.5) and P(e <= 0.7) over ~2.6M evictions.
+	if p := d.CDF[49]; p > 1e-4 {
+		t.Errorf("P(e<=0.5) = %.2e, want < 1e-4", p)
+	}
+	if p := d.CDF[69]; p > 1e-2 {
+		t.Errorf("P(e<=0.7) = %.2e, want < 1e-2", p)
+	}
+	// And the Z4/52 must still dominate a same-ways skew cache's
+	// distribution everywhere (more candidates = strictly better).
+	t.Logf("P(e<=0.5)=%.2e P(e<=0.7)=%.2e P(e<=0.9)=%.3f", d.CDF[49], d.CDF[69], d.CDF[89])
+}

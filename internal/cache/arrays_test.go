@@ -1,0 +1,371 @@
+package cache
+
+import (
+	"testing"
+
+	"zcache/internal/hash"
+	"zcache/internal/repl"
+)
+
+// newSA builds a set-associative cache with bit-selected indexing.
+func newSA(t testing.TB, ways int, sets uint64) *SetAssoc {
+	t.Helper()
+	idx, err := hash.NewBitSelect(0, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewSetAssoc(ways, sets, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSetAssocBasicHitMiss(t *testing.T) {
+	a := newSA(t, 2, 8)
+	pol, _ := repl.NewLRU(a.Blocks())
+	c, err := New(a, pol, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0x100, false) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x100, false) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x13f, false) {
+		t.Error("same-line access missed") // 0x13f >> 6 == 0x100 >> 6 ... not equal
+	}
+}
+
+func TestSetAssocSameLineAliases(t *testing.T) {
+	a := newSA(t, 2, 8)
+	pol, _ := repl.NewLRU(a.Blocks())
+	c, _ := New(a, pol, 6)
+	c.Access(0x1000, false)
+	if !c.Access(0x103f, false) { // same 64-byte line
+		t.Error("byte 0x3f of the line missed")
+	}
+	if c.Access(0x1040, false) { // next line
+		t.Error("adjacent line hit")
+	}
+}
+
+func TestSetAssocConflictEviction(t *testing.T) {
+	// 2-way, 8 sets, 64B lines: lines 0, 8, 16 all map to set 0.
+	a := newSA(t, 2, 8)
+	pol, _ := repl.NewLRU(a.Blocks())
+	c, _ := New(a, pol, 6)
+	lineAddr := func(line uint64) uint64 { return line << 6 }
+	c.Access(lineAddr(0), false)
+	c.Access(lineAddr(8), false)
+	c.Access(lineAddr(0), false)  // 0 is now MRU
+	c.Access(lineAddr(16), false) // conflicts; evicts 8 (LRU)
+	if !c.Contains(lineAddr(0)) {
+		t.Error("MRU line evicted")
+	}
+	if c.Contains(lineAddr(8)) {
+		t.Error("LRU line survived a conflict eviction")
+	}
+	if !c.Contains(lineAddr(16)) {
+		t.Error("incoming line not installed")
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+func TestSetAssocRejectsMismatchedIndex(t *testing.T) {
+	idx, _ := hash.NewBitSelect(0, 16)
+	if _, err := NewSetAssoc(4, 8, idx); err == nil {
+		t.Error("index/sets mismatch accepted")
+	}
+	if _, err := NewSetAssoc(0, 16, idx); err == nil {
+		t.Error("zero ways accepted")
+	}
+}
+
+func TestWritebackAccounting(t *testing.T) {
+	a := newSA(t, 1, 4) // direct-mapped, tiny: evictions guaranteed
+	pol, _ := repl.NewLRU(a.Blocks())
+	c, _ := New(a, pol, 6)
+	var writebacks int
+	c.OnEviction = func(addr uint64, dirty bool) {
+		if dirty {
+			writebacks++
+		}
+	}
+	c.Access(0<<6, true)  // dirty line 0 in set 0
+	c.Access(4<<6, false) // evicts line 0 (set 0) → dirty writeback
+	c.Access(8<<6, false) // evicts line 4 → clean
+	if writebacks != 1 {
+		t.Errorf("dirty evictions = %d, want 1", writebacks)
+	}
+	if got := c.Stats().Writebacks; got != 1 {
+		t.Errorf("stats.Writebacks = %d, want 1", got)
+	}
+}
+
+func TestWriteAllocateDirtiesIncomingLine(t *testing.T) {
+	a := newSA(t, 1, 4)
+	pol, _ := repl.NewLRU(a.Blocks())
+	c, _ := New(a, pol, 6)
+	c.Access(0<<6, true) // write miss → write-allocate → dirty
+	var sawDirty bool
+	c.OnEviction = func(addr uint64, dirty bool) { sawDirty = dirty }
+	c.Access(4<<6, false)
+	if !sawDirty {
+		t.Error("write-allocated line evicted clean")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	a := newSA(t, 2, 8)
+	pol, _ := repl.NewLRU(a.Blocks())
+	c, _ := New(a, pol, 6)
+	c.Access(0x1000, true)
+	present, dirty := c.Invalidate(0x1000)
+	if !present || !dirty {
+		t.Errorf("Invalidate = %v,%v want true,true", present, dirty)
+	}
+	if c.Contains(0x1000) {
+		t.Error("line still resident after invalidate")
+	}
+	present, _ = c.Invalidate(0x1000)
+	if present {
+		t.Error("second invalidate found the line")
+	}
+	// The freed slot must be reusable without an eviction.
+	ev := c.Stats().Evictions
+	c.Access(0x1000, false)
+	if c.Stats().Evictions != ev {
+		t.Error("reinstall after invalidate caused an eviction")
+	}
+}
+
+func TestSkewSpreadsConflicts(t *testing.T) {
+	// Lines with stride = set count thrash a 2-way set-associative cache
+	// but largely coexist in a 2-way skew cache of identical capacity.
+	const rows, ways = 64, 2
+	sa := newSA(t, ways, rows)
+	saPol, _ := repl.NewLRU(sa.Blocks())
+	saCache, _ := New(sa, saPol, 6)
+
+	fns := mkFns(t, ways, rows, 31)
+	sk, err := NewSkew(rows, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skPol, _ := repl.NewLRU(sk.Blocks())
+	skCache, _ := New(sk, skPol, 6)
+
+	// 8 lines, all mapping to set 0 of the set-associative cache.
+	var lines []uint64
+	for i := uint64(0); i < 8; i++ {
+		lines = append(lines, i*rows)
+	}
+	for round := 0; round < 50; round++ {
+		for _, l := range lines {
+			saCache.Access(l<<6, false)
+			skCache.Access(l<<6, false)
+		}
+	}
+	saMiss := saCache.Stats().Misses
+	skMiss := skCache.Stats().Misses
+	if skMiss*2 > saMiss {
+		t.Errorf("skew misses %d not ≪ set-assoc misses %d on pathological stride", skMiss, saMiss)
+	}
+}
+
+func TestSkewLookupAfterInstall(t *testing.T) {
+	fns := mkFns(t, 4, 16, 33)
+	sk, _ := NewSkew(16, fns)
+	pol, _ := repl.NewLRU(sk.Blocks())
+	c, _ := New(sk, pol, 6)
+	state := uint64(2)
+	for i := 0; i < 5000; i++ {
+		state = hash.Mix64(state)
+		line := state % 128
+		wasResident := c.Contains(line << 6)
+		hit := c.Access(line<<6, false)
+		if hit != wasResident {
+			t.Fatalf("hit=%v but Contains=%v", hit, wasResident)
+		}
+	}
+}
+
+func TestFullyAssocAlwaysEvictsGlobalLRU(t *testing.T) {
+	fa, err := NewFullyAssoc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, _ := repl.NewLRU(fa.Blocks())
+	c, _ := New(fa, pol, 6)
+	for i := uint64(0); i < 8; i++ {
+		c.Access(i<<6, false)
+	}
+	if c.Stats().Evictions != 0 {
+		t.Error("fully-associative evicted during fill")
+	}
+	var evicted uint64
+	c.OnEviction = func(addr uint64, dirty bool) { evicted = addr >> 6 }
+	c.Access(100<<6, false)
+	if evicted != 0 {
+		t.Errorf("evicted line %d, want 0 (global LRU)", evicted)
+	}
+	c.Access(200<<6, false)
+	if evicted != 1 {
+		t.Errorf("evicted line %d, want 1", evicted)
+	}
+}
+
+func TestFullyAssocNoConflictMisses(t *testing.T) {
+	// Any working set ≤ capacity runs miss-free after the cold pass.
+	fa, _ := NewFullyAssoc(64)
+	pol, _ := repl.NewLRU(fa.Blocks())
+	c, _ := New(fa, pol, 6)
+	for round := 0; round < 10; round++ {
+		for i := uint64(0); i < 64; i++ {
+			c.Access(i*64*997, false) // arbitrary distinct lines
+		}
+	}
+	if m := c.Stats().Misses; m != 64 {
+		t.Errorf("misses = %d, want 64 (cold only)", m)
+	}
+}
+
+func TestRandomCandidatesLookupAndFill(t *testing.T) {
+	rc, err := NewRandomCandidates(32, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, _ := repl.NewLRU(rc.Blocks())
+	c, _ := New(rc, pol, 6)
+	for i := uint64(0); i < 32; i++ {
+		c.Access(i<<6, false)
+	}
+	if c.Stats().Evictions != 0 {
+		t.Error("random-candidates evicted during fill")
+	}
+	for i := uint64(0); i < 32; i++ {
+		if !c.Contains(i << 6) {
+			t.Errorf("line %d lost", i)
+		}
+	}
+	c.Access(1000<<6, false)
+	if c.Stats().Evictions != 1 {
+		t.Error("no eviction after capacity")
+	}
+}
+
+func TestRandomCandidatesDrawsRequestedCount(t *testing.T) {
+	rc, _ := NewRandomCandidates(64, 16, 9)
+	pol, _ := repl.NewLRU(rc.Blocks())
+	c, _ := New(rc, pol, 6)
+	for i := uint64(0); i < 64; i++ {
+		c.Access(i<<6, false)
+	}
+	cands := rc.Candidates(9999, nil)
+	if len(cands) != 16 {
+		t.Errorf("candidates = %d, want 16", len(cands))
+	}
+}
+
+func TestConstructorsRejectBadGeometry(t *testing.T) {
+	fns := mkFns(t, 2, 8, 41)
+	if _, err := NewSkew(7, fns); err == nil {
+		t.Error("skew with non-power-of-two rows accepted")
+	}
+	if _, err := NewFullyAssoc(0); err == nil {
+		t.Error("fully-assoc with 0 blocks accepted")
+	}
+	if _, err := NewRandomCandidates(0, 4, 1); err == nil {
+		t.Error("random-candidates with 0 blocks accepted")
+	}
+	if _, err := NewRandomCandidates(16, 0, 1); err == nil {
+		t.Error("random-candidates with 0 candidates accepted")
+	}
+}
+
+func TestCacheNewValidation(t *testing.T) {
+	a := newSA(t, 2, 8)
+	pol, _ := repl.NewLRU(a.Blocks())
+	if _, err := New(nil, pol, 6); err == nil {
+		t.Error("nil array accepted")
+	}
+	if _, err := New(a, nil, 6); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := New(a, pol, 20); err == nil {
+		t.Error("absurd line size accepted")
+	}
+}
+
+func TestHitCountersChargeOneLookup(t *testing.T) {
+	a := newSA(t, 4, 16)
+	pol, _ := repl.NewLRU(a.Blocks())
+	c, _ := New(a, pol, 6)
+	c.Access(0x40, false)
+	before := c.Counters()
+	c.Access(0x40, false) // hit
+	after := c.Counters()
+	if d := after.TagLookups - before.TagLookups; d != 1 {
+		t.Errorf("hit cost %d tag lookups, want 1", d)
+	}
+	if d := after.TagReads - before.TagReads; d != 4 {
+		t.Errorf("hit read %d single tags, want 4 (one per way)", d)
+	}
+	if after.WalkLookups != before.WalkLookups {
+		t.Error("hit charged walk lookups")
+	}
+}
+
+func TestBloomFilter(t *testing.T) {
+	b, err := NewBloom(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		b.Add(i)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if !b.MayContain(i) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+	fp := 0
+	for i := uint64(1000); i < 2000; i++ {
+		if b.MayContain(i) {
+			fp++
+		}
+	}
+	// 100 keys, 3 hashes, 4096 bits: FP rate ~0.03%; allow slack.
+	if fp > 20 {
+		t.Errorf("false positives = %d/1000, filter is broken", fp)
+	}
+	b.Reset()
+	if b.Len() != 0 || b.MayContain(5) {
+		t.Error("Reset did not clear the filter")
+	}
+	if _, err := NewBloom(2, 3); err == nil {
+		t.Error("tiny bloom accepted")
+	}
+	if _, err := NewBloom(12, 0); err == nil {
+		t.Error("0-hash bloom accepted")
+	}
+}
+
+func BenchmarkSetAssocAccess(b *testing.B) {
+	idx, _ := hash.NewBitSelect(0, 2048)
+	a, _ := NewSetAssoc(4, 2048, idx)
+	pol, _ := repl.NewLRU(a.Blocks())
+	c, _ := New(a, pol, 6)
+	for i := uint64(0); i < 8192; i++ {
+		c.Access(i<<6, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access((hash.Mix64(uint64(i))%16384)<<6, false)
+	}
+}

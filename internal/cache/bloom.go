@@ -1,0 +1,77 @@
+package cache
+
+import (
+	"fmt"
+
+	"zcache/internal/hash"
+)
+
+// Bloom is the small Bloom filter the paper proposes for avoiding repeated
+// candidates during walks (§III-D): addresses visited by the walk are
+// inserted, and the walk does not expand through addresses already
+// represented. False positives only ever *prune* the walk (costing a
+// candidate), never corrupt it, matching the paper's use.
+type Bloom struct {
+	bits   []uint64
+	mask   uint64
+	hashes int
+	seed   uint64
+	n      int
+}
+
+// NewBloom returns a filter with 2^logBits bits and the given number of hash
+// probes per key.
+func NewBloom(logBits uint, hashes int) (*Bloom, error) {
+	if logBits < 3 || logBits > 30 {
+		return nil, fmt.Errorf("cache: bloom size 2^%d bits outside [2^3, 2^30]", logBits)
+	}
+	if hashes <= 0 || hashes > 8 {
+		return nil, fmt.Errorf("cache: bloom hash count %d outside [1,8]", hashes)
+	}
+	words := (uint64(1) << logBits) / 64
+	if words == 0 {
+		words = 1
+	}
+	return &Bloom{
+		bits:   make([]uint64, words),
+		mask:   (uint64(1) << logBits) - 1,
+		hashes: hashes,
+		seed:   0xb10f,
+	}, nil
+}
+
+// Add inserts key.
+func (b *Bloom) Add(key uint64) {
+	h := hash.Mix64(key ^ b.seed)
+	for i := 0; i < b.hashes; i++ {
+		bit := h & b.mask
+		b.bits[bit/64] |= 1 << (bit % 64)
+		h = hash.Mix64(h)
+	}
+	b.n++
+}
+
+// MayContain reports whether key might have been added (false positives
+// possible, false negatives impossible).
+func (b *Bloom) MayContain(key uint64) bool {
+	h := hash.Mix64(key ^ b.seed)
+	for i := 0; i < b.hashes; i++ {
+		bit := h & b.mask
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+		h = hash.Mix64(h)
+	}
+	return true
+}
+
+// Reset clears the filter; walks reset it per replacement.
+func (b *Bloom) Reset() {
+	for i := range b.bits {
+		b.bits[i] = 0
+	}
+	b.n = 0
+}
+
+// Len returns the number of Add calls since the last Reset.
+func (b *Bloom) Len() int { return b.n }

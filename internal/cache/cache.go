@@ -1,0 +1,270 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"zcache/internal/repl"
+)
+
+// Stats tallies controller-level events.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+	// CycleRetries counts victims rejected because their relocation chain
+	// revisited a slot (repeat-induced cuckoo cycles, §III-D); the
+	// controller reselects, so these never corrupt state.
+	CycleRetries uint64
+}
+
+// Cache is the controller of §III-A/§III-C: it couples a physical Array
+// with a repl.Policy, runs the replacement process (candidate walk, victim
+// selection, relocations), tracks dirty lines for writeback accounting, and
+// keeps its policy's view of slot contents consistent across relocations.
+type Cache struct {
+	array    Array
+	policy   repl.Policy
+	lineBits uint
+	dirty    []bool
+	stats    Stats
+
+	// OnEviction, if set, is called with each evicted line's byte address
+	// and dirtiness before the new line is installed. Inclusive
+	// hierarchies use it for back-invalidations and writeback routing.
+	OnEviction func(addr uint64, dirty bool)
+
+	// hybridLevels > 0 enables the §III-D hybrid walk on zcache arrays:
+	// after the first walk selects a victim, the tree is expanded below
+	// it by this many extra levels and the victim reconsidered.
+	hybridLevels int
+
+	candBuf  []Candidate
+	validIDs []repl.BlockID
+	validIdx []int
+}
+
+// New returns a cache controller over array using policy, with 2^lineBits-
+// byte lines. The policy must have been constructed for exactly
+// array.Blocks() blocks.
+func New(array Array, policy repl.Policy, lineBits uint) (*Cache, error) {
+	if array == nil || policy == nil {
+		return nil, errors.New("cache: nil array or policy")
+	}
+	if lineBits > 12 {
+		return nil, fmt.Errorf("cache: line size 2^%d bytes is implausible", lineBits)
+	}
+	return &Cache{
+		array:    array,
+		policy:   policy,
+		lineBits: lineBits,
+		dirty:    make([]bool, array.Blocks()),
+	}, nil
+}
+
+// Array exposes the underlying array.
+func (c *Cache) Array() Array { return c.array }
+
+// Policy exposes the replacement policy.
+func (c *Cache) Policy() repl.Policy { return c.policy }
+
+// Stats returns a snapshot of controller statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Counters returns the underlying array's access accounting.
+func (c *Cache) Counters() Counters { return *c.array.Counters() }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() uint64 { return 1 << c.lineBits }
+
+// Line returns the line address of a byte address.
+func (c *Cache) Line(addr uint64) uint64 { return addr >> c.lineBits }
+
+// Access performs one reference. It returns whether the access hit. On a
+// miss the line is fetched and installed (write-allocate); write hits and
+// write-allocated installs mark the line dirty.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.stats.Accesses++
+	line := c.Line(addr)
+	if id, ok := c.array.Lookup(line); ok {
+		c.stats.Hits++
+		c.policy.OnAccess(id, write)
+		if write {
+			c.dirty[id] = true
+		}
+		return true
+	}
+	c.stats.Misses++
+	c.install(line, write)
+	return false
+}
+
+// install runs the replacement process for a missing line.
+func (c *Cache) install(line uint64, write bool) {
+	c.candBuf = c.array.Candidates(line, c.candBuf[:0])
+	cands := c.candBuf
+
+	// Prefer an empty slot: the walk stops at the first one it finds, so
+	// scan for any invalid candidate (no eviction needed).
+	victim := -1
+	for i := range cands {
+		if !cands[i].Valid {
+			victim = i
+			break
+		}
+	}
+
+	// Hybrid second phase (§III-D): give the prospective victim a chance
+	// to relocate instead of dying, by expanding the walk below it and
+	// reselecting among it and its new descendants.
+	if victim < 0 && c.hybridLevels > 0 {
+		if z, ok := c.array.(*ZCache); ok {
+			v1 := c.selectVictim(cands, -1)
+			if v1 >= 0 {
+				before := len(cands)
+				cands = z.ExpandFrom(cands, v1, c.hybridLevels)
+				c.candBuf = cands
+				// If the expansion found an empty slot, the
+				// victim's block relocates there for free.
+				for i := before; i < len(cands); i++ {
+					if !cands[i].Valid {
+						victim = i
+						break
+					}
+				}
+				if victim < 0 {
+					victim = c.selectAmong(cands, v1, before)
+				}
+			}
+		}
+	}
+
+	excluded := -1 // single retry slot is enough in practice, but loop anyway
+	for {
+		if victim < 0 {
+			victim = c.selectVictim(cands, excluded)
+			if victim < 0 {
+				// Every candidate excluded — impossible for
+				// level-1 candidates, so this is a bug.
+				panic("cache: no installable victim among candidates")
+			}
+		}
+		moves, err := c.array.Install(line, cands, victim)
+		if errors.Is(err, ErrCuckooCycle) {
+			c.stats.CycleRetries++
+			excluded = victim
+			victim = -1
+			continue
+		}
+		if err != nil {
+			panic(fmt.Sprintf("cache: install failed: %v", err))
+		}
+		c.finishInstall(line, cands, victim, moves, write)
+		return
+	}
+}
+
+// EnableHybridWalk turns on the §III-D hybrid BFS+DFS extension with the
+// given second-phase depth (1 or 2 in practice). It fails for non-zcache
+// arrays.
+func (c *Cache) EnableHybridWalk(levels int) error {
+	if _, ok := c.array.(*ZCache); !ok {
+		return fmt.Errorf("cache: %s has no walk to hybridize", c.array.Name())
+	}
+	if levels < 1 {
+		return fmt.Errorf("cache: hybrid walk needs at least one level, got %d", levels)
+	}
+	c.hybridLevels = levels
+	return nil
+}
+
+// selectAmong asks the policy to choose between the phase-1 victim and the
+// phase-2 candidates appended at index from.
+func (c *Cache) selectAmong(cands []Candidate, v1, from int) int {
+	c.validIDs = c.validIDs[:0]
+	c.validIdx = c.validIdx[:0]
+	c.validIDs = append(c.validIDs, cands[v1].ID)
+	c.validIdx = append(c.validIdx, v1)
+	for i := from; i < len(cands); i++ {
+		if cands[i].Valid {
+			c.validIDs = append(c.validIDs, cands[i].ID)
+			c.validIdx = append(c.validIdx, i)
+		}
+	}
+	sel := c.policy.Select(c.validIDs)
+	if sel == repl.NoVictim {
+		return v1
+	}
+	return c.validIdx[sel]
+}
+
+// selectVictim asks the policy to choose among valid candidates, skipping
+// the excluded index (a previously rejected cuckoo cycle).
+func (c *Cache) selectVictim(cands []Candidate, excluded int) int {
+	c.validIDs = c.validIDs[:0]
+	c.validIdx = c.validIdx[:0]
+	for i := range cands {
+		if cands[i].Valid && i != excluded {
+			c.validIDs = append(c.validIDs, cands[i].ID)
+			c.validIdx = append(c.validIdx, i)
+		}
+	}
+	sel := c.policy.Select(c.validIDs)
+	if sel == repl.NoVictim {
+		return -1
+	}
+	return c.validIdx[sel]
+}
+
+// finishInstall performs eviction notification, policy/dirty-bit migration
+// along the relocation chain, and the final insertion.
+func (c *Cache) finishInstall(line uint64, cands []Candidate, victim int, moves []Move, write bool) {
+	v := cands[victim]
+	if v.Valid {
+		c.stats.Evictions++
+		wasDirty := c.dirty[v.ID]
+		if wasDirty {
+			c.stats.Writebacks++
+		}
+		if c.OnEviction != nil {
+			c.OnEviction(v.Addr<<c.lineBits, wasDirty)
+		}
+		c.policy.OnEvict(v.ID)
+		c.dirty[v.ID] = false
+	}
+	for _, m := range moves {
+		c.policy.OnMove(m.From, m.To)
+		c.dirty[m.To] = c.dirty[m.From]
+		c.dirty[m.From] = false
+	}
+	// The incoming line landed in the root of the victim's ancestor chain.
+	root := victim
+	for cands[root].Parent >= 0 {
+		root = cands[root].Parent
+	}
+	id := cands[root].ID
+	c.policy.OnInsert(id, line)
+	c.dirty[id] = write
+}
+
+// Contains reports whether addr's line is resident, without touching
+// replacement state or counters beyond the tag probe.
+func (c *Cache) Contains(addr uint64) bool {
+	_, ok := c.array.Lookup(c.Line(addr))
+	return ok
+}
+
+// Invalidate removes addr's line if resident, returning whether it was
+// present and whether it was dirty (the caller owns the writeback).
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	id, ok := c.array.Invalidate(c.Line(addr))
+	if !ok {
+		return false, false
+	}
+	c.policy.OnEvict(id)
+	d := c.dirty[id]
+	c.dirty[id] = false
+	return true, d
+}

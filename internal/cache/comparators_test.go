@@ -1,0 +1,385 @@
+package cache
+
+import (
+	"testing"
+
+	"zcache/internal/hash"
+	"zcache/internal/repl"
+)
+
+func TestTimelineMatchesFig1g(t *testing.T) {
+	// Fig. 1g's worked example: 3 ways, 3 levels, 4-cycle tag and data
+	// arrays, 100-cycle memory, victim at level 3 (2 relocations): walk
+	// finishes at cycle 12, the whole process at 20, well inside 100.
+	tl, err := Timeline(3, 3, 4, 4, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.WalkDone != 12 {
+		t.Errorf("WalkDone = %d, want 12", tl.WalkDone)
+	}
+	if tl.RelocationsDone != 20 {
+		t.Errorf("RelocationsDone = %d, want 20", tl.RelocationsDone)
+	}
+	if !tl.Hidden {
+		t.Error("replacement process not hidden behind the 100-cycle fetch")
+	}
+}
+
+func TestTimelineExposesSlowWalks(t *testing.T) {
+	// A deep walk against a fast memory is NOT hidden — the §III early-
+	// stop knob exists for this case.
+	tl, err := Timeline(4, 3, 4, 4, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Hidden {
+		t.Errorf("replacement %d cycles hidden behind a 10-cycle fetch?", tl.RelocationsDone)
+	}
+}
+
+func TestTimelineValidation(t *testing.T) {
+	if _, err := Timeline(0, 1, 4, 4, 100, 0); err == nil {
+		t.Error("0 ways accepted")
+	}
+	if _, err := Timeline(4, 0, 4, 4, 100, 0); err == nil {
+		t.Error("0 levels accepted")
+	}
+	if _, err := Timeline(4, 2, 0, 4, 100, 0); err == nil {
+		t.Error("0 tag latency accepted")
+	}
+	if _, err := Timeline(4, 2, 4, 4, 100, 5); err == nil {
+		t.Error("5 relocations with a 2-level walk accepted")
+	}
+}
+
+func newVictim(t testing.TB, ways int, sets uint64, entries int) *VictimCache {
+	t.Helper()
+	idx, err := hash.NewBitSelect(0, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVictimCache(ways, sets, entries, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestVictimCacheCatchesConflictMisses(t *testing.T) {
+	// Classic victim-cache win: a working set of 3 lines thrashing a
+	// direct-mapped set gets rescued by the buffer.
+	v := newVictim(t, 1, 8, 4)
+	pol, _ := repl.NewLRU(v.Blocks())
+	c, _ := New(v, pol, 6)
+	lines := []uint64{0, 8, 16} // all map to set 0
+	for round := 0; round < 100; round++ {
+		for _, l := range lines {
+			c.Access(l<<6, false)
+		}
+	}
+	st := c.Stats()
+	// Without the buffer every access would miss (3-way thrash in a
+	// 1-way set). With it, only cold misses and the first few rounds.
+	if st.Misses > 20 {
+		t.Errorf("victim cache missed %d times; buffer not catching conflicts", st.Misses)
+	}
+	if v.VictimHits == 0 {
+		t.Error("no victim-buffer hits recorded")
+	}
+}
+
+func TestVictimCacheHotSetsExhaustBuffer(t *testing.T) {
+	// §II-B's criticism: a sizable number of conflict misses in hot sets
+	// overwhelms a small buffer.
+	v := newVictim(t, 1, 8, 4)
+	pol, _ := repl.NewLRU(v.Blocks())
+	c, _ := New(v, pol, 6)
+	// 12 lines in set 0: working set of 13 (set + buffer capacity is 5).
+	for round := 0; round < 50; round++ {
+		for i := uint64(0); i < 12; i++ {
+			c.Access((i*8)<<6, false)
+		}
+	}
+	st := c.Stats()
+	if miss := float64(st.Misses) / float64(st.Accesses); miss < 0.9 {
+		t.Errorf("hot-set thrash miss rate %.2f; expected buffer exhaustion (> 0.9)", miss)
+	}
+}
+
+func TestVictimCacheLookupConsistency(t *testing.T) {
+	// Buffer entries can be silently displaced (classical FIFO), so
+	// "once resident, always hits until eviction" does not hold through
+	// the buffer. The enforceable invariants: an access always leaves
+	// its line resident, and no line is ever duplicated between the
+	// main array and the buffer.
+	v := newVictim(t, 2, 16, 8)
+	pol, _ := repl.NewLRU(v.Blocks())
+	c, _ := New(v, pol, 6)
+	state := uint64(7)
+	for i := 0; i < 30000; i++ {
+		state = hash.Mix64(state)
+		line := state % 128
+		c.Access(line<<6, false)
+		if !c.Contains(line << 6) {
+			t.Fatalf("line %#x absent immediately after access", line)
+		}
+		if i%1000 == 0 {
+			seen := map[uint64]int{}
+			for id, valid := range v.main.valid {
+				if valid {
+					seen[v.main.addrs[id]]++
+				}
+			}
+			for j, valid := range v.vbValid {
+				if valid {
+					seen[v.vbAddr[j]]++
+				}
+			}
+			for l, n := range seen {
+				if n > 1 {
+					t.Fatalf("line %#x present %d times across main+buffer", l, n)
+				}
+			}
+		}
+	}
+}
+
+func TestVictimCacheValidation(t *testing.T) {
+	idx, _ := hash.NewBitSelect(0, 8)
+	if _, err := NewVictimCache(1, 8, 0, idx); err == nil {
+		t.Error("0-entry buffer accepted")
+	}
+	if _, err := NewVictimCache(0, 8, 4, idx); err == nil {
+		t.Error("0 ways accepted")
+	}
+	idx16, _ := hash.NewBitSelect(0, 16)
+	if _, err := NewVictimCache(1, 8, 4, idx16); err == nil {
+		t.Error("mismatched index accepted")
+	}
+}
+
+func newColumn(t testing.TB, rows uint64) *ColumnAssoc {
+	t.Helper()
+	fns, err := hash.H3Family{Seed: 91}.New(2, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := NewColumnAssoc(rows, fns[0], fns[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}
+
+func TestColumnAssocBeatsDirectMapped(t *testing.T) {
+	// Two lines conflicting in their primary slot coexist via the
+	// secondary location.
+	const rows = 64
+	ca := newColumn(t, rows)
+	pol, _ := repl.NewLRU(ca.Blocks())
+	c, _ := New(ca, pol, 6)
+
+	dmIdx, _ := hash.NewBitSelect(0, rows)
+	dm, _ := NewSetAssoc(1, rows, dmIdx)
+	dmPol, _ := repl.NewLRU(dm.Blocks())
+	dc, _ := New(dm, dmPol, 6)
+
+	// Find two lines with the same primary slot.
+	h1 := ca.h1
+	var a, b uint64
+	target := h1.Hash(1)
+	a = 1
+	for l := uint64(2); ; l++ {
+		if h1.Hash(l) == target && ca.h2.Hash(l) != ca.h2.Hash(a) {
+			b = l
+			break
+		}
+	}
+	for round := 0; round < 100; round++ {
+		c.Access(a<<6, false)
+		c.Access(b<<6, false)
+		dc.Access((a%rows)<<6, false) // same-set thrash for direct-mapped
+		dc.Access(((a%rows)+rows)<<6, false)
+	}
+	if cm := c.Stats().Misses; cm > 10 {
+		t.Errorf("column-associative missed %d times on a 2-line conflict", cm)
+	}
+	if dm := dc.Stats().Misses; dm < 150 {
+		t.Errorf("direct-mapped missed only %d times; thrash expected", dm)
+	}
+	if ca.SecondaryHits == 0 {
+		t.Error("no secondary hits recorded")
+	}
+}
+
+func TestColumnAssocLookupConsistency(t *testing.T) {
+	ca := newColumn(t, 128)
+	pol, _ := repl.NewLRU(ca.Blocks())
+	c, _ := New(ca, pol, 6)
+	state := uint64(3)
+	for i := 0; i < 30000; i++ {
+		state = hash.Mix64(state)
+		line := state % 512
+		wasIn := c.Contains(line << 6)
+		hit := c.Access(line<<6, false)
+		if wasIn && !hit {
+			t.Fatalf("resident line %#x missed (swap lost it)", line)
+		}
+	}
+	// No duplicates.
+	seen := map[uint64]bool{}
+	for id, v := range ca.tags.valid {
+		if !v {
+			continue
+		}
+		if seen[ca.tags.addrs[id]] {
+			t.Fatalf("line %#x duplicated", ca.tags.addrs[id])
+		}
+		seen[ca.tags.addrs[id]] = true
+	}
+}
+
+func TestColumnAssocValidation(t *testing.T) {
+	fns, _ := hash.H3Family{Seed: 9}.New(2, 64)
+	if _, err := NewColumnAssoc(63, fns[0], fns[1]); err == nil {
+		t.Error("non-power-of-two rows accepted")
+	}
+	same, _ := hash.NewBitSelect(0, 64)
+	if _, err := NewColumnAssoc(64, same, same); err == nil {
+		t.Error("identical hash functions accepted")
+	}
+}
+
+func newVWay(t testing.TB, blocks, tagWays int, sets uint64) *VWay {
+	t.Helper()
+	idx, err := hash.NewH3(71, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVWay(blocks, tagWays, sets, 16, idx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestVWayBasicFillAndHit(t *testing.T) {
+	v := newVWay(t, 64, 4, 32) // 128 tag entries for 64 blocks (2x)
+	pol, _ := repl.NewLRU(v.Blocks())
+	c, _ := New(v, pol, 6)
+	for i := uint64(0); i < 64; i++ {
+		c.Access(i<<6, false)
+	}
+	if c.Stats().Evictions != 0 {
+		t.Errorf("evictions during fill = %d", c.Stats().Evictions)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if !c.Access(i<<6, false) {
+			t.Fatalf("line %d missed after fill", i)
+		}
+	}
+}
+
+func TestVWayGlobalReplacementApproachesFullAssociativity(t *testing.T) {
+	// The design claim: global replacement makes the miss rate track a
+	// highly-associative cache even at 4 tag ways. Compare against a
+	// plain 4-way of equal capacity on a hot/cold mix.
+	run := func(arr Array) uint64 {
+		pol, _ := repl.NewLRU(arr.Blocks())
+		c, _ := New(arr, pol, 6)
+		state := uint64(11)
+		for i := 0; i < 200000; i++ {
+			state = hash.Mix64(state)
+			var line uint64
+			if state%4 != 0 { // 75% hot
+				line = state % 192
+			} else {
+				line = 1000 + state%4096
+			}
+			c.Access(line<<6, false)
+		}
+		return c.Stats().Misses
+	}
+	vw := newVWay(t, 256, 4, 128)
+	idx, _ := hash.NewH3(71, 64)
+	sa, _ := NewSetAssoc(4, 64, idx)
+	vwMisses, saMisses := run(vw), run(sa)
+	if vwMisses > saMisses {
+		t.Errorf("v-way misses %d above 4-way set-associative %d; global replacement broken", vwMisses, saMisses)
+	}
+}
+
+func TestVWayLocalFallbackOnFullTagSet(t *testing.T) {
+	// 1.0x tag provisioning makes tag-set conflicts common, forcing the
+	// local path.
+	idx, _ := hash.NewBitSelect(0, 16)
+	v, err := NewVWay(64, 4, 16, 8, idx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, _ := repl.NewLRU(v.Blocks())
+	c, _ := New(v, pol, 6)
+	// Hammer one tag set: lines ≡ 0 mod 16.
+	for i := 0; i < 5000; i++ {
+		c.Access(uint64(i%8)*16*64, false)
+	}
+	if v.LocalFallbacks == 0 {
+		t.Error("no local fallbacks despite saturated tag set")
+	}
+}
+
+func TestVWayConsistencyUnderChurn(t *testing.T) {
+	v := newVWay(t, 128, 4, 64)
+	pol, _ := repl.NewLRU(v.Blocks())
+	c, _ := New(v, pol, 6)
+	resident := map[uint64]bool{}
+	c.OnEviction = func(addr uint64, dirty bool) { delete(resident, addr>>6) }
+	state := uint64(23)
+	for i := 0; i < 60000; i++ {
+		state = hash.Mix64(state)
+		line := state % 1024
+		hit := c.Access(line<<6, state%6 == 0)
+		if hit != resident[line] {
+			t.Fatalf("step %d: hit=%v resident=%v for line %d", i, hit, resident[line], line)
+		}
+		resident[line] = true
+	}
+	// Pointer integrity: every valid tag's data block points back.
+	for ti, ok := range v.tagValid {
+		if !ok {
+			continue
+		}
+		d := v.tagData[ti]
+		if !v.dataValid[d] || int(v.dataTag[d]) != ti {
+			t.Fatalf("tag %d ↔ data %d pointer mismatch", ti, d)
+		}
+	}
+	// And no orphaned valid data blocks.
+	for d, ok := range v.dataValid {
+		if !ok {
+			continue
+		}
+		ti := v.dataTag[d]
+		if !v.tagValid[ti] || int(v.tagData[ti]) != d {
+			t.Fatalf("data %d orphaned", d)
+		}
+	}
+}
+
+func TestVWayValidation(t *testing.T) {
+	idx, _ := hash.NewBitSelect(0, 16)
+	if _, err := NewVWay(0, 4, 16, 8, idx, 1); err == nil {
+		t.Error("0 blocks accepted")
+	}
+	if _, err := NewVWay(128, 4, 16, 8, idx, 1); err == nil {
+		t.Error("tag entries below blocks accepted")
+	}
+	if _, err := NewVWay(32, 4, 16, 0, idx, 1); err == nil {
+		t.Error("0 sample accepted")
+	}
+	idx8, _ := hash.NewBitSelect(0, 8)
+	if _, err := NewVWay(32, 4, 16, 8, idx8, 1); err == nil {
+		t.Error("mismatched index accepted")
+	}
+}

@@ -1,0 +1,229 @@
+package cache
+
+import (
+	"fmt"
+
+	"zcache/internal/hash"
+	"zcache/internal/repl"
+)
+
+// FullyAssoc is a fully-associative array: any line can live in any slot,
+// and every resident block is a replacement candidate. It exists as the
+// analytical reference — the conflict-miss definition (§IV) subtracts a
+// fully-associative cache's misses, and a fully-associative cache always
+// evicts the block with eviction priority 1.0. Lookup uses a map (hardware
+// would use a CAM); Candidates is O(B), so use it with small-to-medium
+// capacities, not the 131072-line L2.
+type FullyAssoc struct {
+	name   string
+	blocks int
+	filled int
+	where  map[uint64]repl.BlockID
+	addrs  []uint64
+	valid  []bool
+	ctr    Counters
+	moves  []Move
+}
+
+// NewFullyAssoc returns a fully-associative array with the given capacity.
+func NewFullyAssoc(blocks int) (*FullyAssoc, error) {
+	if blocks <= 0 {
+		return nil, fmt.Errorf("cache: fully-associative needs positive capacity, got %d", blocks)
+	}
+	return &FullyAssoc{
+		name:   fmt.Sprintf("fa-%d", blocks),
+		blocks: blocks,
+		where:  make(map[uint64]repl.BlockID, blocks),
+		addrs:  make([]uint64, blocks),
+		valid:  make([]bool, blocks),
+	}, nil
+}
+
+// Name identifies the design.
+func (a *FullyAssoc) Name() string { return a.name }
+
+// Blocks returns the capacity in lines.
+func (a *FullyAssoc) Blocks() int { return a.blocks }
+
+// Ways returns the associativity, which equals the capacity.
+func (a *FullyAssoc) Ways() int { return a.blocks }
+
+// Lookup finds line's slot.
+func (a *FullyAssoc) Lookup(line uint64) (repl.BlockID, bool) {
+	a.ctr.TagLookups++
+	a.ctr.TagReads++ // CAM probe modelled as one tag access
+	id, ok := a.where[line]
+	return id, ok
+}
+
+// Candidates returns a single empty slot while the array is filling (so
+// cold installs are O(1), not O(B)); once full, it returns every slot with
+// its validity, letting the controller reuse invalidation holes.
+func (a *FullyAssoc) Candidates(line uint64, buf []Candidate) []Candidate {
+	if a.filled < a.blocks && !a.valid[a.filled] {
+		return append(buf, Candidate{ID: repl.BlockID(a.filled), Level: 1, Parent: -1})
+	}
+	for i := 0; i < a.blocks; i++ {
+		id := repl.BlockID(i)
+		buf = append(buf, Candidate{
+			ID:     id,
+			Addr:   a.addrs[id],
+			Valid:  a.valid[id],
+			Level:  1,
+			Parent: -1,
+		})
+	}
+	return buf
+}
+
+// Install replaces the victim slot with line.
+func (a *FullyAssoc) Install(line uint64, cands []Candidate, victim int) ([]Move, error) {
+	if victim < 0 || victim >= len(cands) {
+		return nil, fmt.Errorf("cache: victim index %d out of range [0,%d)", victim, len(cands))
+	}
+	c := cands[victim]
+	if c.Valid {
+		delete(a.where, c.Addr)
+	} else if int(c.ID) == a.filled {
+		a.filled++
+	}
+	a.addrs[c.ID] = line
+	a.valid[c.ID] = true
+	a.where[line] = c.ID
+	a.ctr.TagWrites++
+	a.ctr.DataWrites++
+	return a.moves[:0], nil
+}
+
+// Invalidate removes line if resident.
+func (a *FullyAssoc) Invalidate(line uint64) (repl.BlockID, bool) {
+	id, ok := a.where[line]
+	if !ok {
+		return 0, false
+	}
+	delete(a.where, line)
+	a.valid[id] = false
+	a.ctr.TagWrites++
+	return id, true
+}
+
+// Counters exposes access accounting.
+func (a *FullyAssoc) Counters() *Counters { return &a.ctr }
+
+// RandomCandidates is the §IV-B thought experiment made runnable: lookups
+// are unconstrained (map-based), and each replacement draws n random slots
+// (with repetition) from the whole array. Because every draw is an unbiased,
+// independent sample of the policy's global ranking, this design meets the
+// uniformity assumption *exactly* and its measured associativity
+// distribution must match F_A(x) = x^n — the validation experiment that
+// anchors the analytical framework.
+type RandomCandidates struct {
+	name   string
+	blocks int
+	n      int
+	where  map[uint64]repl.BlockID
+	addrs  []uint64
+	valid  []bool
+	filled int
+	state  uint64
+	ctr    Counters
+	moves  []Move
+}
+
+// NewRandomCandidates returns the random-candidates design with the given
+// capacity and candidates-per-replacement, seeded deterministically.
+func NewRandomCandidates(blocks, candidates int, seed uint64) (*RandomCandidates, error) {
+	if blocks <= 0 {
+		return nil, fmt.Errorf("cache: random-candidates needs positive capacity, got %d", blocks)
+	}
+	if candidates <= 0 {
+		return nil, fmt.Errorf("cache: random-candidates needs positive candidate count, got %d", candidates)
+	}
+	return &RandomCandidates{
+		name:   fmt.Sprintf("randcand-%d-n%d", blocks, candidates),
+		blocks: blocks,
+		n:      candidates,
+		where:  make(map[uint64]repl.BlockID, blocks),
+		addrs:  make([]uint64, blocks),
+		valid:  make([]bool, blocks),
+		state:  seed | 1,
+	}, nil
+}
+
+// Name identifies the design.
+func (a *RandomCandidates) Name() string { return a.name }
+
+// Blocks returns the capacity in lines.
+func (a *RandomCandidates) Blocks() int { return a.blocks }
+
+// Ways returns 1: the design has no way structure.
+func (a *RandomCandidates) Ways() int { return 1 }
+
+func (a *RandomCandidates) rand() uint64 {
+	a.state = hash.Mix64(a.state)
+	return a.state
+}
+
+// Lookup finds line's slot.
+func (a *RandomCandidates) Lookup(line uint64) (repl.BlockID, bool) {
+	a.ctr.TagLookups++
+	a.ctr.TagReads++
+	id, ok := a.where[line]
+	return id, ok
+}
+
+// Candidates returns one empty slot while the array is filling, then n
+// random slots (with repetition, as §IV-B specifies).
+func (a *RandomCandidates) Candidates(line uint64, buf []Candidate) []Candidate {
+	if a.filled < a.blocks && !a.valid[a.filled] {
+		return append(buf, Candidate{ID: repl.BlockID(a.filled), Level: 1, Parent: -1})
+	}
+	for i := 0; i < a.n; i++ {
+		id := repl.BlockID(a.rand() % uint64(a.blocks))
+		buf = append(buf, Candidate{
+			ID:     id,
+			Addr:   a.addrs[id],
+			Valid:  a.valid[id],
+			Level:  1,
+			Parent: -1,
+		})
+	}
+	a.ctr.TagReads += uint64(a.n)
+	return buf
+}
+
+// Install replaces the victim slot with line.
+func (a *RandomCandidates) Install(line uint64, cands []Candidate, victim int) ([]Move, error) {
+	if victim < 0 || victim >= len(cands) {
+		return nil, fmt.Errorf("cache: victim index %d out of range [0,%d)", victim, len(cands))
+	}
+	c := cands[victim]
+	if c.Valid {
+		delete(a.where, c.Addr)
+	} else if int(c.ID) == a.filled {
+		a.filled++
+	}
+	a.addrs[c.ID] = line
+	a.valid[c.ID] = true
+	a.where[line] = c.ID
+	a.ctr.TagWrites++
+	a.ctr.DataWrites++
+	return a.moves[:0], nil
+}
+
+// Invalidate removes line if resident. The freed slot is reused only after
+// an eviction cycles through it, so invalidations briefly leave holes; the
+// associativity experiments do not invalidate.
+func (a *RandomCandidates) Invalidate(line uint64) (repl.BlockID, bool) {
+	id, ok := a.where[line]
+	if !ok {
+		return 0, false
+	}
+	delete(a.where, line)
+	a.valid[id] = false
+	a.ctr.TagWrites++
+	return id, true
+}
+
+// Counters exposes access accounting.
+func (a *RandomCandidates) Counters() *Counters { return &a.ctr }

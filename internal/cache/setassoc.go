@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"fmt"
+
+	"zcache/internal/hash"
+	"zcache/internal/repl"
+)
+
+// SetAssoc is a conventional set-associative array: one index function
+// shared by all ways, candidates are the W blocks of the indexed set. With
+// hash.BitSelect it models the classic unhashed design; with an H3 function
+// it models the hashed-index variant some commercial last-level caches ship
+// (§II-A) — the paper's baseline is the 4-way hashed configuration.
+type SetAssoc struct {
+	name  string
+	index hash.Func
+	tags  tagStore
+	ctr   Counters
+	moves []Move // always empty; kept for interface symmetry
+}
+
+// NewSetAssoc returns a set-associative array with the given ways and sets,
+// indexed by index (whose bucket count must equal sets).
+func NewSetAssoc(ways int, sets uint64, index hash.Func) (*SetAssoc, error) {
+	if err := validateGeometry("set-associative", ways, sets); err != nil {
+		return nil, err
+	}
+	if index.Buckets() != sets {
+		return nil, fmt.Errorf("cache: index function covers %d buckets, array has %d sets", index.Buckets(), sets)
+	}
+	return &SetAssoc{
+		name:  fmt.Sprintf("sa-%dw-%ds-%s", ways, sets, index.Name()),
+		index: index,
+		tags:  newTagStore(ways, sets),
+	}, nil
+}
+
+// Name identifies the design.
+func (a *SetAssoc) Name() string { return a.name }
+
+// Blocks returns the capacity in lines.
+func (a *SetAssoc) Blocks() int { return a.tags.ways * int(a.tags.rows) }
+
+// Ways returns the number of ways.
+func (a *SetAssoc) Ways() int { return a.tags.ways }
+
+// Lookup probes all ways of the indexed set.
+func (a *SetAssoc) Lookup(line uint64) (repl.BlockID, bool) {
+	row := a.index.Hash(line)
+	a.ctr.TagLookups++
+	a.ctr.TagReads += uint64(a.tags.ways)
+	for w := 0; w < a.tags.ways; w++ {
+		id := a.tags.slot(w, row)
+		if a.tags.valid[id] && a.tags.addrs[id] == line {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// Candidates returns the blocks of the indexed set. The tag reads for these
+// candidates were already performed by the demand lookup that missed, so no
+// extra accounting happens here.
+func (a *SetAssoc) Candidates(line uint64, buf []Candidate) []Candidate {
+	row := a.index.Hash(line)
+	for w := 0; w < a.tags.ways; w++ {
+		id := a.tags.slot(w, row)
+		buf = append(buf, Candidate{
+			ID:     id,
+			Addr:   a.tags.addrs[id],
+			Valid:  a.tags.valid[id],
+			Way:    w,
+			Row:    row,
+			Level:  1,
+			Parent: -1,
+		})
+	}
+	return buf
+}
+
+// Install replaces the victim slot with line; set-associative installs never
+// relocate.
+func (a *SetAssoc) Install(line uint64, cands []Candidate, victim int) ([]Move, error) {
+	if victim < 0 || victim >= len(cands) {
+		return nil, fmt.Errorf("cache: victim index %d out of range [0,%d)", victim, len(cands))
+	}
+	id := cands[victim].ID
+	a.tags.addrs[id] = line
+	a.tags.valid[id] = true
+	a.ctr.TagWrites++
+	a.ctr.DataWrites++
+	return a.moves[:0], nil
+}
+
+// Invalidate removes line if resident, returning its slot.
+func (a *SetAssoc) Invalidate(line uint64) (repl.BlockID, bool) {
+	row := a.index.Hash(line)
+	for w := 0; w < a.tags.ways; w++ {
+		id := a.tags.slot(w, row)
+		if a.tags.valid[id] && a.tags.addrs[id] == line {
+			a.tags.valid[id] = false
+			a.ctr.TagWrites++
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// Counters exposes access accounting.
+func (a *SetAssoc) Counters() *Counters { return &a.ctr }

@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"fmt"
+
+	"zcache/internal/hash"
+	"zcache/internal/repl"
+)
+
+// Skew is a skew-associative array (Seznec, ISCA'93; §II-A): each way has
+// its own hash function, so a line has exactly one slot per way but two
+// lines that conflict in one way usually do not conflict in the others.
+// Candidates are the W resident blocks at the line's per-way positions —
+// structurally identical to a zcache whose walk is limited to one level
+// (the paper's Z4/4 configuration).
+type Skew struct {
+	name  string
+	fns   []hash.Func
+	tags  tagStore
+	ctr   Counters
+	moves []Move
+}
+
+// NewSkew returns a skew-associative array with rows rows per way, indexed
+// by fns (one per way). The functions must be distinct-seeded: identical
+// functions silently degenerate to a set-associative cache, so constructors
+// reject function slices where any pair behaves identically on a probe set.
+func NewSkew(rows uint64, fns []hash.Func) (*Skew, error) {
+	if err := validateSkewFns("skew-associative", rows, fns); err != nil {
+		return nil, err
+	}
+	return &Skew{
+		name: fmt.Sprintf("skew-%dw-%dr", len(fns), rows),
+		fns:  fns,
+		tags: newTagStore(len(fns), rows),
+	}, nil
+}
+
+// validateSkewFns checks geometry and pairwise distinctness of way hashes.
+func validateSkewFns(design string, rows uint64, fns []hash.Func) error {
+	if err := validateGeometry(design, len(fns), rows); err != nil {
+		return err
+	}
+	for i, f := range fns {
+		if f.Buckets() != rows {
+			return fmt.Errorf("cache: %s way %d hash covers %d buckets, array has %d rows", design, i, f.Buckets(), rows)
+		}
+	}
+	if len(fns) < 2 {
+		return nil
+	}
+	for i := 0; i < len(fns); i++ {
+		for j := i + 1; j < len(fns); j++ {
+			same := 0
+			const probes = 64
+			for p := uint64(0); p < probes; p++ {
+				addr := hash.Mix64(p)
+				if fns[i].Hash(addr) == fns[j].Hash(addr) {
+					same++
+				}
+			}
+			if same == probes {
+				return fmt.Errorf("cache: %s ways %d and %d share an identical hash function; skewing requires independent functions", design, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Name identifies the design.
+func (a *Skew) Name() string { return a.name }
+
+// Blocks returns the capacity in lines.
+func (a *Skew) Blocks() int { return a.tags.ways * int(a.tags.rows) }
+
+// Ways returns the number of ways.
+func (a *Skew) Ways() int { return a.tags.ways }
+
+// Lookup probes the line's one slot per way.
+func (a *Skew) Lookup(line uint64) (repl.BlockID, bool) {
+	a.ctr.TagLookups++
+	a.ctr.TagReads += uint64(a.tags.ways)
+	for w := 0; w < a.tags.ways; w++ {
+		id := a.tags.slot(w, a.fns[w].Hash(line))
+		if a.tags.valid[id] && a.tags.addrs[id] == line {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// Candidates returns the blocks at the line's per-way positions; the demand
+// lookup already read these tags.
+func (a *Skew) Candidates(line uint64, buf []Candidate) []Candidate {
+	for w := 0; w < a.tags.ways; w++ {
+		row := a.fns[w].Hash(line)
+		id := a.tags.slot(w, row)
+		buf = append(buf, Candidate{
+			ID:     id,
+			Addr:   a.tags.addrs[id],
+			Valid:  a.tags.valid[id],
+			Way:    w,
+			Row:    row,
+			Level:  1,
+			Parent: -1,
+		})
+	}
+	return buf
+}
+
+// Install replaces the victim slot; skew installs never relocate.
+func (a *Skew) Install(line uint64, cands []Candidate, victim int) ([]Move, error) {
+	if victim < 0 || victim >= len(cands) {
+		return nil, fmt.Errorf("cache: victim index %d out of range [0,%d)", victim, len(cands))
+	}
+	id := cands[victim].ID
+	a.tags.addrs[id] = line
+	a.tags.valid[id] = true
+	a.ctr.TagWrites++
+	a.ctr.DataWrites++
+	return a.moves[:0], nil
+}
+
+// Invalidate removes line if resident.
+func (a *Skew) Invalidate(line uint64) (repl.BlockID, bool) {
+	for w := 0; w < a.tags.ways; w++ {
+		id := a.tags.slot(w, a.fns[w].Hash(line))
+		if a.tags.valid[id] && a.tags.addrs[id] == line {
+			a.tags.valid[id] = false
+			a.ctr.TagWrites++
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// Counters exposes access accounting.
+func (a *Skew) Counters() *Counters { return &a.ctr }

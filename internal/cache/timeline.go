@@ -1,0 +1,53 @@
+package cache
+
+import "fmt"
+
+// ReplacementTimeline models the cycle-level schedule of one zcache
+// replacement (Fig. 1g): the pipelined walk reads, the victim selection,
+// and the relocation reads/writes, overlapped with the memory fetch of the
+// incoming line. It answers the §III-A claim that the whole process
+// completes well before the miss returns from memory, so the walk never
+// adds latency to the miss.
+type ReplacementTimeline struct {
+	// WalkDone is the cycle the last walk tag read completes (T_walk of
+	// §III-B, pipelined).
+	WalkDone int
+	// RelocationsDone is the cycle the last relocation write completes.
+	RelocationsDone int
+	// FetchDone is the cycle the incoming line arrives from memory.
+	FetchDone int
+	// Hidden reports whether the replacement process finished strictly
+	// before the fetch, i.e. off the critical path.
+	Hidden bool
+}
+
+// Timeline computes the replacement schedule for a W-way, L-level zcache
+// with the given array latencies (cycles) and the miss's memory latency.
+// relocations is the length of the chosen victim's relocation chain
+// (0..L-1).
+func Timeline(ways, levels, tagLatency, dataLatency, memLatency, relocations int) (ReplacementTimeline, error) {
+	if ways < 1 || levels < 1 {
+		return ReplacementTimeline{}, fmt.Errorf("cache: timeline needs ways >= 1 and levels >= 1, got %d/%d", ways, levels)
+	}
+	if tagLatency < 1 || dataLatency < 1 || memLatency < 0 {
+		return ReplacementTimeline{}, fmt.Errorf("cache: timeline latencies must be positive (tag %d, data %d, mem %d)", tagLatency, dataLatency, memLatency)
+	}
+	if relocations < 0 || relocations > levels-1 && levels > 1 || (levels == 1 && relocations != 0) {
+		return ReplacementTimeline{}, fmt.Errorf("cache: %d relocations impossible with a %d-level walk", relocations, levels)
+	}
+	t := ReplacementTimeline{
+		// The walk's levels are pipelined: T_walk = Σ max(T_tag,
+		// probes-per-level) (§III-B). Fig. 1g's 3-way, 3-level example
+		// with a 4-cycle tag read: 12 cycles for 21 candidates.
+		WalkDone: WalkLatency(ways, levels, tagLatency),
+	}
+	// Relocations proceed from the victim upward; each move's data-array
+	// read overlaps the previous move's write, so the chain costs one
+	// data access per relocation. Fig. 1g: 2 relocations × 4 cycles after
+	// the 12-cycle walk → the whole process finishes at cycle 20, well
+	// inside the 100-cycle memory fetch.
+	t.RelocationsDone = t.WalkDone + relocations*dataLatency
+	t.FetchDone = memLatency
+	t.Hidden = t.RelocationsDone <= t.FetchDone
+	return t, nil
+}

@@ -1,0 +1,189 @@
+package cache
+
+import (
+	"fmt"
+
+	"zcache/internal/hash"
+	"zcache/internal/repl"
+)
+
+// VictimCache is the §II-B comparator: a conventional set-associative main
+// array backed by a small fully-associative victim buffer (Jouppi,
+// ISCA'90). Main-array victims drop into the buffer; a hit there swaps the
+// block back into the main array. It catches conflict misses that re-occur
+// quickly, but — as the paper notes — works poorly when a sizable number of
+// conflict misses hammer a few hot sets, and every main-array miss pays the
+// buffer probe in latency and energy whether or not it hits.
+//
+// The paper's analytical point stands here too: the design's associativity
+// is bounded by ways + victim entries *shared across all sets*, so a single
+// hot set exhausts it.
+//
+// VictimCache is a tags-only miss-rate comparator: buffer entries are not
+// policy-visible slots, so swap-backs recycle the per-slot replacement and
+// dirty state of the block they displace. Use it for §II comparisons, not
+// for writeback-accurate hierarchy simulation.
+type VictimCache struct {
+	name string
+	main tagStore
+	idx  hash.Func
+	// Victim buffer: fully associative, FIFO replacement (the classical
+	// design); vbAddr[i] valid iff vbValid[i].
+	vbAddr  []uint64
+	vbValid []bool
+	vbNext  int
+	// VictimHits counts misses served by the buffer (swap-backs).
+	VictimHits uint64
+	ctr        Counters
+	moves      []Move
+}
+
+// NewVictimCache returns a ways×sets main array with a victimEntries-entry
+// buffer, indexed by idx.
+func NewVictimCache(ways int, sets uint64, victimEntries int, idx hash.Func) (*VictimCache, error) {
+	if err := validateGeometry("victim-cache", ways, sets); err != nil {
+		return nil, err
+	}
+	if victimEntries <= 0 {
+		return nil, fmt.Errorf("cache: victim buffer needs positive entries, got %d", victimEntries)
+	}
+	if idx.Buckets() != sets {
+		return nil, fmt.Errorf("cache: index function covers %d buckets, array has %d sets", idx.Buckets(), sets)
+	}
+	return &VictimCache{
+		name:    fmt.Sprintf("victim-%dw-%ds+%d", ways, sets, victimEntries),
+		main:    newTagStore(ways, sets),
+		idx:     idx,
+		vbAddr:  make([]uint64, victimEntries),
+		vbValid: make([]bool, victimEntries),
+	}, nil
+}
+
+// Name identifies the design.
+func (a *VictimCache) Name() string { return a.name }
+
+// Blocks returns the main-array capacity; victim-buffer entries are
+// transient storage, not named slots for the policy (the classical buffer
+// keeps FIFO order internally).
+func (a *VictimCache) Blocks() int { return a.main.ways * int(a.main.rows) }
+
+// Ways returns the main array's associativity.
+func (a *VictimCache) Ways() int { return a.main.ways }
+
+// VictimEntries returns the buffer size.
+func (a *VictimCache) VictimEntries() int { return len(a.vbAddr) }
+
+// Lookup probes the main set, then the victim buffer. A buffer hit swaps
+// the block back into the main array (evicting the set's way-0 block into
+// the buffer, per the classical swap) and reports a hit at the swapped-in
+// slot.
+func (a *VictimCache) Lookup(line uint64) (repl.BlockID, bool) {
+	row := a.idx.Hash(line)
+	a.ctr.TagLookups++
+	a.ctr.TagReads += uint64(a.main.ways)
+	for w := 0; w < a.main.ways; w++ {
+		id := a.main.slot(w, row)
+		if a.main.valid[id] && a.main.addrs[id] == line {
+			return id, true
+		}
+	}
+	// Buffer probe: charged on every main miss (§II-B's latency/energy
+	// criticism).
+	a.ctr.TagReads += uint64(len(a.vbAddr))
+	for i := range a.vbAddr {
+		if a.vbValid[i] && a.vbAddr[i] == line {
+			a.VictimHits++
+			a.swapBack(i, row, line)
+			return a.main.slot(0, row), true
+		}
+	}
+	return 0, false
+}
+
+// swapBack exchanges buffer entry i with the block in way 0 of row.
+func (a *VictimCache) swapBack(i int, row uint64, line uint64) {
+	id := a.main.slot(0, row)
+	oldAddr, oldValid := a.main.addrs[id], a.main.valid[id]
+	a.main.addrs[id] = line
+	a.main.valid[id] = true
+	if oldValid {
+		a.vbAddr[i] = oldAddr
+		a.vbValid[i] = true
+	} else {
+		a.vbValid[i] = false
+	}
+	// One read and one write on each side of the swap.
+	a.ctr.TagReads += 2
+	a.ctr.TagWrites += 2
+	a.ctr.DataReads += 2
+	a.ctr.DataWrites += 2
+	a.ctr.Relocations++
+}
+
+// Candidates returns the indexed set's blocks (the victim buffer is not a
+// placement target for incoming lines).
+func (a *VictimCache) Candidates(line uint64, buf []Candidate) []Candidate {
+	row := a.idx.Hash(line)
+	for w := 0; w < a.main.ways; w++ {
+		id := a.main.slot(w, row)
+		buf = append(buf, Candidate{
+			ID:     id,
+			Addr:   a.main.addrs[id],
+			Valid:  a.main.valid[id],
+			Way:    w,
+			Row:    row,
+			Level:  1,
+			Parent: -1,
+		})
+	}
+	return buf
+}
+
+// Install replaces the victim slot; the displaced block drops into the
+// victim buffer (FIFO), displacing its oldest entry.
+func (a *VictimCache) Install(line uint64, cands []Candidate, victim int) ([]Move, error) {
+	if victim < 0 || victim >= len(cands) {
+		return nil, fmt.Errorf("cache: victim index %d out of range [0,%d)", victim, len(cands))
+	}
+	c := cands[victim]
+	if c.Valid {
+		a.vbAddr[a.vbNext] = c.Addr
+		a.vbValid[a.vbNext] = true
+		a.vbNext = (a.vbNext + 1) % len(a.vbAddr)
+		a.ctr.TagWrites++
+		a.ctr.DataWrites++
+	}
+	a.main.addrs[c.ID] = line
+	a.main.valid[c.ID] = true
+	a.ctr.TagWrites++
+	a.ctr.DataWrites++
+	return a.moves[:0], nil
+}
+
+// Invalidate removes line from the main array or the buffer.
+func (a *VictimCache) Invalidate(line uint64) (repl.BlockID, bool) {
+	row := a.idx.Hash(line)
+	for w := 0; w < a.main.ways; w++ {
+		id := a.main.slot(w, row)
+		if a.main.valid[id] && a.main.addrs[id] == line {
+			a.main.valid[id] = false
+			a.ctr.TagWrites++
+			return id, true
+		}
+	}
+	for i := range a.vbAddr {
+		if a.vbValid[i] && a.vbAddr[i] == line {
+			a.vbValid[i] = false
+			a.ctr.TagWrites++
+			// Buffer entries have no policy slot; report way-0 of
+			// the line's set as a stable pseudo-slot. Controllers
+			// only use the ID for policy bookkeeping of main-array
+			// blocks, and this line had none.
+			return a.main.slot(0, row), false
+		}
+	}
+	return 0, false
+}
+
+// Counters exposes access accounting.
+func (a *VictimCache) Counters() *Counters { return &a.ctr }

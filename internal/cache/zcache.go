@@ -1,0 +1,538 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"zcache/internal/hash"
+	"zcache/internal/repl"
+)
+
+// ErrCuckooCycle is returned by ZCache.Install when the selected victim's
+// ancestor chain revisits a physical slot, so the relocation sequence would
+// overwrite a block it still needs. Callers exclude the candidate and
+// reselect; Cache.Access does this automatically.
+var ErrCuckooCycle = errors.New("cache: relocation chain revisits a slot")
+
+// ZCache is the paper's contribution (§III): a skew-indexed array whose
+// replacement process walks the tag array breadth-first to assemble far more
+// replacement candidates than the cache has ways, then frees the incoming
+// line's slot through a chain of relocations.
+//
+// Hits behave exactly like a skew-associative cache — one probe per way —
+// so hit latency and energy are those of a W-way design. Associativity
+// instead tracks the number of replacement candidates R (§IV), which grows
+// geometrically with the walk depth: R = W · Σ_{l=0}^{L-1} (W-1)^l.
+type ZCache struct {
+	name   string
+	fns    []hash.Func
+	tags   tagStore
+	levels int
+	// maxCands lets the controller stop the walk early under bandwidth or
+	// energy pressure (§III: "the replacement process can be stopped
+	// early, simply resulting in a worse replacement candidate").
+	maxCands int
+	// repeatFilter, when non-nil, suppresses expansion through addresses
+	// already visited in this walk (§III-D's Bloom-filter extension).
+	repeatFilter *Bloom
+	// strategy selects BFS (default) or DFS candidate exploration.
+	strategy WalkStrategy
+	// dfsState seeds the DFS way choices deterministically.
+	dfsState uint64
+	ctr      Counters
+	moves    []Move
+	chain    []repl.BlockID
+	// repeats counts walk expansions that landed on an already-visited
+	// slot, for the §III-D "repeats are rare in large caches" claim.
+	repeats uint64
+}
+
+// WalkStrategy selects how the replacement walk explores candidates
+// (§III-D "Alternative walk strategies").
+type WalkStrategy int
+
+const (
+	// WalkBFS is the paper's design: breadth-first levels, pipelined
+	// reads, walk-table state of a few hundred bits.
+	WalkBFS WalkStrategy = iota
+	// WalkDFS is the cuckoo-hashing strategy: a single relocation chain
+	// explored depth-first. It needs no walk table and interleaves walk
+	// with relocations, but for the same number of candidates it incurs
+	// more relocations (the victim sits L = R/W deep) and its reads
+	// cannot be pipelined.
+	WalkDFS
+)
+
+// ZOption customizes a ZCache.
+type ZOption func(*ZCache) error
+
+// WithWalkStrategy selects BFS (default) or DFS exploration.
+func WithWalkStrategy(s WalkStrategy) ZOption {
+	return func(z *ZCache) error {
+		if s != WalkBFS && s != WalkDFS {
+			return fmt.Errorf("cache: unknown walk strategy %d", s)
+		}
+		z.strategy = s
+		return nil
+	}
+}
+
+// WithMaxCandidates stops the walk once n candidates have been gathered,
+// modelling the early-stop bandwidth/energy safety valve.
+func WithMaxCandidates(n int) ZOption {
+	return func(z *ZCache) error {
+		if n < 1 {
+			return fmt.Errorf("cache: max candidates must be positive, got %d", n)
+		}
+		z.maxCands = n
+		return nil
+	}
+}
+
+// WithRepeatAvoidance attaches a Bloom filter that prunes walk expansion
+// through already-visited addresses (§III-D).
+func WithRepeatAvoidance(logBits uint, hashes int) ZOption {
+	return func(z *ZCache) error {
+		f, err := NewBloom(logBits, hashes)
+		if err != nil {
+			return err
+		}
+		z.repeatFilter = f
+		return nil
+	}
+}
+
+// NewZCache returns a zcache with rows rows per way, per-way hash functions
+// fns, and a walk of the given number of levels. levels == 1 degenerates to
+// a skew-associative cache (the paper's Z W/W configuration).
+func NewZCache(rows uint64, fns []hash.Func, levels int, opts ...ZOption) (*ZCache, error) {
+	if err := validateSkewFns("zcache", rows, fns); err != nil {
+		return nil, err
+	}
+	if levels < 1 {
+		return nil, fmt.Errorf("cache: zcache walk needs at least one level, got %d", levels)
+	}
+	if len(fns) == 1 && levels > 1 {
+		return nil, fmt.Errorf("cache: a 1-way zcache cannot walk (no alternative ways)")
+	}
+	z := &ZCache{
+		name:   fmt.Sprintf("z-%dw-%dr-L%d", len(fns), rows, levels),
+		fns:    fns,
+		tags:   newTagStore(len(fns), rows),
+		levels: levels,
+	}
+	for _, opt := range opts {
+		if err := opt(z); err != nil {
+			return nil, err
+		}
+	}
+	if z.maxCands == 0 {
+		z.maxCands = ReplacementCandidates(len(fns), levels)
+	}
+	return z, nil
+}
+
+// Name identifies the design.
+func (z *ZCache) Name() string { return z.name }
+
+// Blocks returns the capacity in lines.
+func (z *ZCache) Blocks() int { return z.tags.ways * int(z.tags.rows) }
+
+// Ways returns the number of ways.
+func (z *ZCache) Ways() int { return z.tags.ways }
+
+// Levels returns the configured walk depth.
+func (z *ZCache) Levels() int { return z.levels }
+
+// Repeats returns how many walk expansions landed on already-visited slots.
+func (z *ZCache) Repeats() uint64 { return z.repeats }
+
+// SetWalkBudget re-bounds the walk to at most n candidates, clamped to the
+// design's natural maximum R(W, L). This is the §VIII future-work hook —
+// "making associativity a software-controlled property": the same hardware
+// trades associativity against tag bandwidth and miss energy at runtime.
+func (z *ZCache) SetWalkBudget(n int) error {
+	if n < z.tags.ways {
+		return fmt.Errorf("cache: walk budget %d below the %d first-level candidates", n, z.tags.ways)
+	}
+	max := ReplacementCandidates(z.tags.ways, z.levels)
+	if n > max {
+		n = max
+	}
+	z.maxCands = n
+	return nil
+}
+
+// WalkBudget returns the current candidate bound.
+func (z *ZCache) WalkBudget() int { return z.maxCands }
+
+// Lookup probes the line's one slot per way — the common case, and the
+// reason zcache hits cost exactly what a W-way skew cache's hits cost.
+func (z *ZCache) Lookup(line uint64) (repl.BlockID, bool) {
+	z.ctr.TagLookups++
+	z.ctr.TagReads += uint64(z.tags.ways)
+	for w := 0; w < z.tags.ways; w++ {
+		id := z.tags.slot(w, z.fns[w].Hash(line))
+		if z.tags.valid[id] && z.tags.addrs[id] == line {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// Candidates performs the breadth-first walk of §III-A. First-level
+// candidates are the blocks at the incoming line's per-way slots; each
+// further level hashes the previous level's addresses with the other ways'
+// functions and reads the tags there. The walk stops at the configured
+// depth, at the candidate budget, or as soon as an empty slot is found
+// (an empty slot is a free installation — no deeper candidate can beat it).
+func (z *ZCache) Candidates(line uint64, buf []Candidate) []Candidate {
+	if z.strategy == WalkDFS {
+		return z.candidatesDFS(line, buf)
+	}
+	start := len(buf)
+	if z.repeatFilter != nil {
+		z.repeatFilter.Reset()
+	}
+	// Level 1: direct conflicts. Tag reads were charged by the demand
+	// lookup that missed.
+	for w := 0; w < z.tags.ways; w++ {
+		row := z.fns[w].Hash(line)
+		id := z.tags.slot(w, row)
+		c := Candidate{
+			ID:     id,
+			Addr:   z.tags.addrs[id],
+			Valid:  z.tags.valid[id],
+			Way:    w,
+			Row:    row,
+			Level:  1,
+			Parent: -1,
+		}
+		buf = append(buf, c)
+		if !c.Valid {
+			return buf
+		}
+		if z.repeatFilter != nil {
+			z.repeatFilter.Add(c.Addr)
+		}
+	}
+	// Deeper levels: expand each candidate into the other ways.
+	levelStart, levelEnd := start, len(buf)
+	for level := 2; level <= z.levels; level++ {
+		var singleReads uint64
+		for parent := levelStart; parent < levelEnd; parent++ {
+			p := buf[parent]
+			for w := 0; w < z.tags.ways; w++ {
+				if w == p.Way {
+					// This hash matches the slot the parent
+					// already occupies (§III-A: "one of the
+					// hash values always matches").
+					continue
+				}
+				if len(buf)-start >= z.maxCands {
+					z.chargeWalk(singleReads)
+					return buf
+				}
+				row := z.fns[w].Hash(p.Addr)
+				id := z.tags.slot(w, row)
+				singleReads++
+				c := Candidate{
+					ID:     id,
+					Addr:   z.tags.addrs[id],
+					Valid:  z.tags.valid[id],
+					Way:    w,
+					Row:    row,
+					Level:  level,
+					Parent: parent,
+				}
+				if z.seenInWalk(buf[start:], id) {
+					z.repeats++
+				}
+				if c.Valid && z.repeatFilter != nil && z.repeatFilter.MayContain(c.Addr) {
+					// Pruned (§III-D): the address was already
+					// visited (or a false positive), so do not
+					// re-add it or expand through it.
+					continue
+				}
+				buf = append(buf, c)
+				if !c.Valid {
+					z.chargeWalk(singleReads)
+					return buf
+				}
+				if z.repeatFilter != nil {
+					z.repeatFilter.Add(c.Addr)
+				}
+			}
+		}
+		z.chargeWalk(singleReads)
+		levelStart, levelEnd = levelEnd, len(buf)
+		if levelStart == levelEnd {
+			break
+		}
+	}
+	return buf
+}
+
+// ExpandFrom grows the walk tree below cands[idx] by up to extraLevels more
+// levels, appending new candidates (with Parent chains rooted at idx) to
+// cands and returning the extended slice. This implements the §III-D hybrid
+// BFS+DFS extension: after the first walk selects a prospective victim N,
+// a second expansion phase tries to *re-insert* N elsewhere instead of
+// evicting it, roughly doubling the number of candidates without growing
+// the walk-table state (the phase reuses the same table).
+//
+// The appended candidates use the same encoding as Candidates, so Install
+// handles the longer relocation chains unchanged. Expansion stops early at
+// an empty slot or at the candidate budget (counted across the whole tree).
+func (z *ZCache) ExpandFrom(cands []Candidate, idx, extraLevels int) []Candidate {
+	if idx < 0 || idx >= len(cands) || !cands[idx].Valid {
+		return cands
+	}
+	start := len(cands)
+	levelStart, levelEnd := idx, idx+1
+	firstLevel := true
+	for lvl := 0; lvl < extraLevels; lvl++ {
+		var singleReads uint64
+		for parent := levelStart; parent < levelEnd; parent++ {
+			p := cands[parent]
+			for w := 0; w < z.tags.ways; w++ {
+				if w == p.Way {
+					continue
+				}
+				if len(cands) >= 2*z.maxCands {
+					z.chargeWalk(singleReads)
+					return cands
+				}
+				row := z.fns[w].Hash(p.Addr)
+				id := z.tags.slot(w, row)
+				singleReads++
+				c := Candidate{
+					ID:     id,
+					Addr:   z.tags.addrs[id],
+					Valid:  z.tags.valid[id],
+					Way:    w,
+					Row:    row,
+					Level:  p.Level + 1,
+					Parent: parent,
+				}
+				if z.seenInWalk(cands, id) {
+					z.repeats++
+				}
+				cands = append(cands, c)
+				if !c.Valid {
+					z.chargeWalk(singleReads)
+					return cands
+				}
+			}
+		}
+		z.chargeWalk(singleReads)
+		if firstLevel {
+			levelStart, firstLevel = start, false
+		} else {
+			levelStart = levelEnd
+		}
+		levelEnd = len(cands)
+		if levelStart == levelEnd {
+			break
+		}
+	}
+	return cands
+}
+
+// candidatesDFS explores a single relocation chain depth-first, the cuckoo-
+// hashing strategy of §III-D. The first level reads the line's W slots (free
+// — the demand lookup read them); then the chain repeatedly hops from the
+// current candidate to one pseudo-randomly chosen alternative way of its
+// resident block until the candidate budget is reached. Every chain read is
+// serialized (charged as its own pipeline slot), modelling that DFS reads
+// cannot be pipelined.
+func (z *ZCache) candidatesDFS(line uint64, buf []Candidate) []Candidate {
+	start := len(buf)
+	for w := 0; w < z.tags.ways; w++ {
+		row := z.fns[w].Hash(line)
+		id := z.tags.slot(w, row)
+		c := Candidate{
+			ID:     id,
+			Addr:   z.tags.addrs[id],
+			Valid:  z.tags.valid[id],
+			Way:    w,
+			Row:    row,
+			Level:  1,
+			Parent: -1,
+		}
+		buf = append(buf, c)
+		if !c.Valid {
+			return buf
+		}
+	}
+	// Chain from a pseudo-random first-level candidate.
+	z.dfsState = hash.Mix64(z.dfsState ^ line)
+	cur := start + int(z.dfsState%uint64(z.tags.ways))
+	for len(buf)-start < z.maxCands {
+		p := buf[cur]
+		z.dfsState = hash.Mix64(z.dfsState)
+		hop := int(z.dfsState % uint64(z.tags.ways-1))
+		w := (p.Way + 1 + hop) % z.tags.ways
+		row := z.fns[w].Hash(p.Addr)
+		id := z.tags.slot(w, row)
+		// Serialized single read: one pipeline slot each.
+		z.ctr.TagReads++
+		z.ctr.WalkLookups++
+		z.ctr.TagLookups++
+		c := Candidate{
+			ID:     id,
+			Addr:   z.tags.addrs[id],
+			Valid:  z.tags.valid[id],
+			Way:    w,
+			Row:    row,
+			Level:  p.Level + 1,
+			Parent: cur,
+		}
+		if z.seenInWalk(buf[start:], id) {
+			z.repeats++
+			// A chain that bites its own tail cannot continue; the
+			// controller will pick among what was found.
+			break
+		}
+		buf = append(buf, c)
+		if !c.Valid {
+			break
+		}
+		cur = len(buf) - 1
+	}
+	return buf
+}
+
+// chargeWalk accounts one walk level's tag traffic: singles for the energy
+// model, full-width pipeline slots (ceil(singles/W)) for the bandwidth
+// analysis of §VI-D.
+func (z *ZCache) chargeWalk(singleReads uint64) {
+	if singleReads == 0 {
+		return
+	}
+	z.ctr.TagReads += singleReads
+	w := uint64(z.tags.ways)
+	slots := (singleReads + w - 1) / w
+	z.ctr.WalkLookups += slots
+	z.ctr.TagLookups += slots
+}
+
+// seenInWalk reports whether slot id already appears in this walk's
+// candidates.
+func (z *ZCache) seenInWalk(cands []Candidate, id repl.BlockID) bool {
+	for i := range cands {
+		if cands[i].ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Install evicts cands[victim] and relocates its ancestor chain so the
+// incoming line lands in a first-level slot (§III-A "Relocations"). The
+// returned moves, ordered from the victim's slot upward, let the caller
+// migrate per-slot metadata (replacement state, dirty bits).
+func (z *ZCache) Install(line uint64, cands []Candidate, victim int) ([]Move, error) {
+	if victim < 0 || victim >= len(cands) {
+		return nil, fmt.Errorf("cache: victim index %d out of range [0,%d)", victim, len(cands))
+	}
+	// Collect the chain victim → root and verify it never revisits a
+	// slot: a repeated slot means a relocation would clobber a block
+	// before it is copied (the cuckoo-cycle case repeats can create).
+	z.chain = z.chain[:0]
+	for i := victim; ; i = cands[i].Parent {
+		id := cands[i].ID
+		for _, prev := range z.chain {
+			if prev == id {
+				return nil, ErrCuckooCycle
+			}
+		}
+		z.chain = append(z.chain, id)
+		if cands[i].Parent < 0 {
+			break
+		}
+	}
+	// Relocate ancestors: each parent's block moves into its child's
+	// (now free) slot, from the victim upward.
+	z.moves = z.moves[:0]
+	for i := 0; i+1 < len(z.chain); i++ {
+		to, from := z.chain[i], z.chain[i+1]
+		z.tags.addrs[to] = z.tags.addrs[from]
+		z.tags.valid[to] = z.tags.valid[from]
+		z.tags.valid[from] = false
+		z.moves = append(z.moves, Move{From: from, To: to})
+		// §III-B: each relocation reads and writes both arrays.
+		z.ctr.TagReads++
+		z.ctr.TagWrites++
+		z.ctr.DataReads++
+		z.ctr.DataWrites++
+		z.ctr.Relocations++
+	}
+	// The incoming line lands in the chain's root (a first-level slot).
+	root := z.chain[len(z.chain)-1]
+	z.tags.addrs[root] = line
+	z.tags.valid[root] = true
+	z.ctr.TagWrites++
+	z.ctr.DataWrites++
+	return z.moves, nil
+}
+
+// Invalidate removes line if resident.
+func (z *ZCache) Invalidate(line uint64) (repl.BlockID, bool) {
+	for w := 0; w < z.tags.ways; w++ {
+		id := z.tags.slot(w, z.fns[w].Hash(line))
+		if z.tags.valid[id] && z.tags.addrs[id] == line {
+			z.tags.valid[id] = false
+			z.ctr.TagWrites++
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// Counters exposes access accounting.
+func (z *ZCache) Counters() *Counters { return &z.ctr }
+
+// ReplacementCandidates returns R for a W-way, L-level walk with no repeats:
+// R = W · Σ_{l=0}^{L-1} (W-1)^l (§III-B). The paper's Z4/16 is (4,2) and
+// Z4/52 is (4,3).
+func ReplacementCandidates(ways, levels int) int {
+	r := 0
+	pow := 1
+	for l := 0; l < levels; l++ {
+		r += pow
+		pow *= ways - 1
+	}
+	return ways * r
+}
+
+// WalkLevelsFor returns the smallest L such that a W-way, L-level walk
+// yields at least r candidates, and the exact candidate count at that depth.
+func WalkLevelsFor(ways, r int) (levels, candidates int) {
+	if ways < 2 {
+		return 1, ways
+	}
+	for l := 1; ; l++ {
+		c := ReplacementCandidates(ways, l)
+		if c >= r {
+			return l, c
+		}
+	}
+}
+
+// WalkLatency returns T_walk in cycles per §III-B: each level is pipelined,
+// costing max(T_tag, (W-1)^l) cycles, so a few levels deliver tens of
+// candidates in a handful of tag-array latencies.
+func WalkLatency(ways, levels, tagLatency int) int {
+	t := 0
+	pow := 1
+	for l := 0; l < levels; l++ {
+		if tagLatency > pow {
+			t += tagLatency
+		} else {
+			t += pow
+		}
+		pow *= ways - 1
+	}
+	return t
+}

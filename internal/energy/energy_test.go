@@ -1,0 +1,273 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func spec(ways int, lk Lookup, zlevels int) CacheSpec {
+	return CacheSpec{
+		CapacityBytes: 8 << 20,
+		LineBytes:     64,
+		Banks:         8,
+		Ways:          ways,
+		Lookup:        lk,
+		ZLevels:       zlevels,
+		HashedIndex:   true,
+	}
+}
+
+// near asserts |got/want - 1| <= tol.
+func near(t *testing.T, label string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero want", label)
+	}
+	if r := math.Abs(got/want - 1); r > tol {
+		t.Errorf("%s = %.4f, want %.4f (±%.0f%%)", label, got, want, tol*100)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	good := spec(4, Serial, 0)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.LineBytes = 0
+	if bad.Validate() == nil {
+		t.Error("zero line size accepted")
+	}
+	bad = good
+	bad.Ways = 0
+	if bad.Validate() == nil {
+		t.Error("zero ways accepted")
+	}
+	bad = good
+	bad.Banks = 0
+	if bad.Validate() == nil {
+		t.Error("zero banks accepted")
+	}
+	bad = good
+	bad.ZLevels = -1
+	if bad.Validate() == nil {
+		t.Error("negative walk depth accepted")
+	}
+	if got := good.Blocks(); got != 131072 {
+		t.Errorf("Blocks = %d, want 131072", got)
+	}
+}
+
+// The anchor-ratio tests pin the model to the numbers the paper quotes from
+// CACTI (§I, §VI-A). If a constant drifts, these fail.
+
+func TestSerialAnchorRatios(t *testing.T) {
+	m := NewModel()
+	sa4, sa32 := spec(4, Serial, 0), spec(32, Serial, 0)
+	near(t, "area 32w/4w", m.AreaMM2(sa32)/m.AreaMM2(sa4), 1.22, 0.02)
+	near(t, "hit latency 32w/4w", m.HitLatencyExact(sa32)/m.HitLatencyExact(sa4), 1.23, 0.02)
+	near(t, "hit energy 32w/4w", m.HitEnergyNJ(sa32)/m.HitEnergyNJ(sa4), 2.0, 0.03)
+}
+
+func TestParallelAnchorRatios(t *testing.T) {
+	m := NewModel()
+	sa4, sa32 := spec(4, Parallel, 0), spec(32, Parallel, 0)
+	near(t, "parallel hit energy 32w/4w", m.HitEnergyNJ(sa32)/m.HitEnergyNJ(sa4), 3.3, 0.03)
+	near(t, "parallel hit latency 32w/4w", m.HitLatencyExact(sa32)/m.HitLatencyExact(sa4), 1.32, 0.02)
+}
+
+func TestZCacheMissEnergyAnchor(t *testing.T) {
+	// §VI-A: a serial-lookup zcache 4/52 has ≈1.3× the energy per miss of
+	// a 32-way set-associative cache, with almost twice the candidates.
+	m := NewModel()
+	walk, relocs := DefaultWalkStats(4, 3)
+	z := m.MissEnergyNJ(spec(4, Serial, 3), walk, relocs)
+	sa32 := m.MissEnergyNJ(spec(32, Serial, 0), 0, 0)
+	near(t, "miss energy Z4/52 / SA-32", z/sa32, 1.3, 0.10)
+}
+
+func TestZCacheHitCostsAreFourWayCosts(t *testing.T) {
+	// The design's whole point: zcache hit latency and energy equal the
+	// W-way figures regardless of walk depth.
+	m := NewModel()
+	for _, lk := range []Lookup{Serial, Parallel} {
+		sa4 := spec(4, lk, 0)
+		z52 := spec(4, lk, 3)
+		if m.HitEnergyNJ(z52) != m.HitEnergyNJ(sa4) {
+			t.Errorf("%v: zcache hit energy differs from 4-way", lk)
+		}
+		if m.HitLatency(z52) != m.HitLatency(sa4) {
+			t.Errorf("%v: zcache hit latency differs from 4-way", lk)
+		}
+	}
+}
+
+func TestHitLatencyCycles(t *testing.T) {
+	// Table I gives the L2 bank range 6–11 cycles; Fig. 4 cites +1 cycle
+	// for 16 ways and +2 for 32 (serial).
+	m := NewModel()
+	cases := []struct {
+		ways int
+		lk   Lookup
+		want int
+	}{
+		{4, Serial, 9}, {8, Serial, 9}, {16, Serial, 10}, {32, Serial, 11},
+		{4, Parallel, 6}, {8, Parallel, 6}, {16, Parallel, 7}, {32, Parallel, 8},
+	}
+	for _, c := range cases {
+		if got := m.HitLatency(spec(c.ways, c.lk, 0)); got != c.want {
+			t.Errorf("HitLatency(%d-way %v) = %d, want %d", c.ways, c.lk, got, c.want)
+		}
+	}
+}
+
+func TestMissEnergyMonotoneInWalk(t *testing.T) {
+	m := NewModel()
+	s := spec(4, Serial, 3)
+	e0 := m.MissEnergyNJ(s, 0, 0)
+	e1 := m.MissEnergyNJ(s, 12, 1)
+	e2 := m.MissEnergyNJ(s, 48, 1.6)
+	if !(e0 < e1 && e1 < e2) {
+		t.Errorf("miss energy not monotone: %f %f %f", e0, e1, e2)
+	}
+}
+
+func TestDefaultWalkStats(t *testing.T) {
+	w, r := DefaultWalkStats(4, 1)
+	if w != 0 || r != 0 {
+		t.Errorf("1-level walk stats = %f,%f want 0,0", w, r)
+	}
+	w, r = DefaultWalkStats(4, 2)
+	if w != 12 { // 16 candidates - 4 free first-level reads
+		t.Errorf("walk reads L2 = %f, want 12", w)
+	}
+	// Victim uniform over {4 at level 1 (0 relocs), 12 at level 2 (1)}.
+	if math.Abs(r-12.0/16.0) > 1e-12 {
+		t.Errorf("relocs L2 = %f, want 0.75", r)
+	}
+	w, r = DefaultWalkStats(4, 3)
+	if w != 48 {
+		t.Errorf("walk reads L3 = %f, want 48", w)
+	}
+	if math.Abs(r-(12.0+72.0)/52.0) > 1e-12 {
+		t.Errorf("relocs L3 = %f, want %f", r, 84.0/52.0)
+	}
+}
+
+func TestWalkEnergyGrowsLinearlyInRButDataGrowsWithL(t *testing.T) {
+	// §III-B: tag energy grows with R; data (relocation) energy grows
+	// with L, i.e. logarithmically in R. Doubling candidates via one
+	// more level must grow miss energy far slower than 2×.
+	m := NewModel()
+	w2, r2 := DefaultWalkStats(4, 2)
+	w3, r3 := DefaultWalkStats(4, 3)
+	e2 := m.MissEnergyNJ(spec(4, Serial, 2), w2, r2)
+	e3 := m.MissEnergyNJ(spec(4, Serial, 3), w3, r3)
+	if ratio := e3 / e2; ratio > 1.5 {
+		t.Errorf("miss energy 52-cand / 16-cand = %.2f, want < 1.5 (log growth)", ratio)
+	}
+}
+
+func TestAreaHashedOverhead(t *testing.T) {
+	m := NewModel()
+	hashed := spec(4, Serial, 0)
+	plain := hashed
+	plain.HashedIndex = false
+	if m.AreaMM2(hashed) <= m.AreaMM2(plain) {
+		t.Error("hashed tag store not charged extra area")
+	}
+}
+
+func TestSystemEvaluate(t *testing.T) {
+	sm := NewSystemModel()
+	counts := SystemCounts{
+		Instructions: 320_000_000,
+		Cycles:       20_000_000, // 32 cores → IPC 0.5
+		L1Accesses:   100_000_000,
+		L2Accesses:   10_000_000,
+		L2Hits:       8_000_000,
+		L2Misses:     2_000_000,
+		Writebacks:   500_000,
+		DRAMAccesses: 2_500_000,
+	}
+	res, err := sm.Evaluate(spec(4, Serial, 0), counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.IPC-0.5) > 1e-9 {
+		t.Errorf("IPC = %f, want 0.5", res.IPC)
+	}
+	if res.L2MPKI != 6.25 {
+		t.Errorf("MPKI = %f, want 6.25", res.L2MPKI)
+	}
+	if res.EnergyJ <= 0 || res.BIPSPerW <= 0 {
+		t.Errorf("non-positive energy/efficiency: %+v", res)
+	}
+	// The Table I CMP has a ~90W TDP; a busy run must land at plausible
+	// average power (tens of watts), not milliwatts or kilowatts.
+	if res.AvgPowerW < 20 || res.AvgPowerW > 150 {
+		t.Errorf("average power = %.1fW, outside the plausible CMP envelope", res.AvgPowerW)
+	}
+	if _, err := sm.Evaluate(spec(4, Serial, 0), SystemCounts{}); err == nil {
+		t.Error("empty run accepted")
+	}
+}
+
+func TestSystemEnergyOrdersDesignsLikeThePaper(t *testing.T) {
+	// With identical activity, a serial 4-way (or zcache) system must
+	// consume less than a 32-way serial system, which must consume less
+	// than a 32-way parallel one (hit-energy ordering).
+	sm := NewSystemModel()
+	counts := SystemCounts{
+		Instructions: 100_000_000,
+		Cycles:       10_000_000,
+		L1Accesses:   40_000_000,
+		L2Accesses:   5_000_000,
+		L2Hits:       4_500_000,
+		L2Misses:     500_000,
+		DRAMAccesses: 600_000,
+	}
+	e := func(s CacheSpec) float64 {
+		r, err := sm.Evaluate(s, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.EnergyJ
+	}
+	e4 := e(spec(4, Serial, 0))
+	e32s := e(spec(32, Serial, 0))
+	e32p := e(spec(32, Parallel, 0))
+	if !(e4 < e32s && e32s < e32p) {
+		t.Errorf("energy ordering violated: 4s=%g 32s=%g 32p=%g", e4, e32s, e32p)
+	}
+}
+
+func TestTableIIGeneration(t *testing.T) {
+	rows := TableII(NewModel())
+	if len(rows) != 12 { // (4 SA + 2 Z) × 2 lookups
+		t.Fatalf("TableII rows = %d, want 12", len(rows))
+	}
+	labels := map[string]bool{}
+	for _, r := range rows {
+		labels[r.Label] = true
+		if r.HitLatency <= 0 || r.HitEnergyNJ <= 0 || r.MissEnergyNJ <= 0 || r.AreaMM2 <= 0 {
+			t.Errorf("row %s has non-positive figures: %+v", r.Label, r)
+		}
+	}
+	for _, want := range []string{"SA-4 serial", "SA-32 parallel", "Z4/16 serial", "Z4/52 parallel"} {
+		if !labels[want] {
+			t.Errorf("missing row %q", want)
+		}
+	}
+	out := RenderTableII(rows)
+	if !strings.Contains(out, "Z4/52") || !strings.Contains(out, "hit-lat") {
+		t.Errorf("rendered table malformed:\n%s", out)
+	}
+}
+
+func TestLookupString(t *testing.T) {
+	if Serial.String() != "serial" || Parallel.String() != "parallel" {
+		t.Error("Lookup.String broken")
+	}
+}

@@ -1,0 +1,236 @@
+// Package energy provides the analytical cost models that stand in for the
+// paper's CACTI 6.5 and McPAT runs (see DESIGN.md §2):
+//
+//   - A CACTI-lite cache model producing hit latency, hit energy, miss
+//     energy, area, and leakage for set-associative caches and zcaches with
+//     serial or parallel tag/data lookup (Table II).
+//   - A McPAT-lite system model combining core, cache, NoC, and DRAM energy
+//     into the BIPS/W metric of Fig. 5.
+//
+// The models are *calibrated*, not derived: their constants are chosen so
+// the anchor ratios the paper quotes from CACTI hold —
+//
+//   - 32-way vs 4-way set-associative, serial lookup: 1.22× area,
+//     1.23× hit latency, 2× hit energy (§VI-A);
+//   - 32-way vs 4-way, parallel lookup: 1.32× hit latency, 3.3× hit energy
+//     (§I, §VI-A);
+//   - serial zcache 4/52 vs 32-way set-associative: ≈1.3× energy per miss,
+//     while keeping the 4-way hit latency and energy (§VI-A);
+//   - serial-lookup hit latencies span the 6–11 cycle L2 bank range of
+//     Table I, with the +1/+2 cycle penalties for 16/32 ways that Fig. 4's
+//     IPC analysis cites.
+//
+// Between anchors the model interpolates linearly in the number of ways,
+// which matches CACTI's near-linear tag-port scaling in this regime.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Lookup selects the tag/data access organization (§VI-A).
+type Lookup int
+
+const (
+	// Serial accesses tag then data, saving energy at a latency cost.
+	Serial Lookup = iota
+	// Parallel starts both accesses together, with late way-select.
+	Parallel
+)
+
+// String names the lookup mode.
+func (l Lookup) String() string {
+	if l == Parallel {
+		return "parallel"
+	}
+	return "serial"
+}
+
+// CacheSpec describes one cache design point for the cost model.
+type CacheSpec struct {
+	// CapacityBytes is the total capacity (the paper's L2: 8MB).
+	CapacityBytes uint64
+	// LineBytes is the line size (64B).
+	LineBytes uint64
+	// Banks is the number of independently addressed banks (8).
+	Banks int
+	// Ways is the number of physical ways.
+	Ways int
+	// Lookup is serial or parallel.
+	Lookup Lookup
+	// ZLevels is the zcache walk depth; 0 or 1 means a conventional
+	// (or skew) design with no walk.
+	ZLevels int
+	// HashedIndex adds the index-hash circuitry and full-tag storage
+	// overhead of hashed/skewed/z designs (§II-A).
+	HashedIndex bool
+}
+
+// Validate checks the spec.
+func (s CacheSpec) Validate() error {
+	if s.CapacityBytes == 0 || s.LineBytes == 0 || s.CapacityBytes%s.LineBytes != 0 {
+		return fmt.Errorf("energy: capacity %d not a multiple of line size %d", s.CapacityBytes, s.LineBytes)
+	}
+	if s.Banks <= 0 {
+		return fmt.Errorf("energy: banks must be positive, got %d", s.Banks)
+	}
+	if s.Ways <= 0 {
+		return fmt.Errorf("energy: ways must be positive, got %d", s.Ways)
+	}
+	if s.ZLevels < 0 {
+		return fmt.Errorf("energy: negative walk depth %d", s.ZLevels)
+	}
+	return nil
+}
+
+// Blocks returns the capacity in lines.
+func (s CacheSpec) Blocks() int { return int(s.CapacityBytes / s.LineBytes) }
+
+// Model holds the calibrated CACTI-lite constants. All energies are in
+// nanojoules, latencies in cycles at the 2GHz clock of Table I, areas in
+// square millimetres at 32nm. The zero value is not usable; use NewModel.
+type Model struct {
+	// Data-array access energy for one line, including H-tree traversal
+	// to the bank port.
+	DataAccessNJ float64
+	// Tag-array energy: fixed port overhead plus a per-way term
+	// (a W-way lookup reads W tag entries in parallel).
+	TagPortNJ   float64
+	TagPerWayNJ float64
+	// WalkTagReadNJ is a single-way walk tag read: no way-select mux, no
+	// output drive, so cheaper than a demand lookup's per-way share.
+	WalkTagReadNJ float64
+	// RelocDataNJ is a data line read or write that stays inside the
+	// bank during a relocation (no port H-tree traversal).
+	RelocDataNJ float64
+	// CtrlMissNJ is MSHR/directory controller energy charged per miss.
+	CtrlMissNJ float64
+	// Parallel lookup: fraction of a data access burned per extra way by
+	// the late way-select partial activation.
+	ParallelWayFrac float64
+	// Serial/parallel hit latency: base + slope×ways, in cycles.
+	SerialLatBase, SerialLatPerWay     float64
+	ParallelLatBase, ParallelLatPerWay float64
+	// Area: data array mm² per MB, tag base fraction and per-way
+	// fraction of data area.
+	DataMM2PerMB  float64
+	TagBaseFrac   float64
+	TagPerWayFrac float64
+	// HashTagFrac is the extra tag-store area of hashed designs, which
+	// must keep the full block address (§II-A).
+	HashTagFrac float64
+	// LeakWPerMM2 is static power for the low-leakage L2 process.
+	LeakWPerMM2 float64
+	// WriteEnergyFactor scales a read access into a write.
+	WriteEnergyFactor float64
+}
+
+// NewModel returns the calibrated 32nm model. The constants are solved from
+// the anchor ratios in the package comment with the data-array access
+// normalized to 0.5nJ (a CACTI-typical value for a 1MB 32nm bank).
+func NewModel() *Model {
+	return &Model{
+		DataAccessNJ:      0.50,
+		TagPortNJ:         0.025,
+		TagPerWayNJ:       0.021875,
+		WalkTagReadNJ:     0.015,
+		RelocDataNJ:       0.135,
+		CtrlMissNJ:        0.75,
+		ParallelWayFrac:   0.07547,
+		SerialLatBase:     8.70,
+		SerialLatPerWay:   0.0739,
+		ParallelLatBase:   5.73,
+		ParallelLatPerWay: 0.0686,
+		DataMM2PerMB:      4.4,
+		TagBaseFrac:       0.05,
+		TagPerWayFrac:     0.00852,
+		HashTagFrac:       0.02,
+		LeakWPerMM2:       0.045,
+		WriteEnergyFactor: 1.10,
+	}
+}
+
+// tagLookupNJ is the energy of one full-width tag access (all ways probed).
+func (m *Model) tagLookupNJ(ways int) float64 {
+	return m.TagPortNJ + float64(ways)*m.TagPerWayNJ
+}
+
+// HitEnergyNJ returns the energy of one hit.
+func (m *Model) HitEnergyNJ(s CacheSpec) float64 {
+	tag := m.tagLookupNJ(s.Ways)
+	if s.Lookup == Parallel {
+		// Late way-select partially activates the other ways' data.
+		return tag + m.DataAccessNJ*(1+m.ParallelWayFrac*float64(s.Ways-1))
+	}
+	return tag + m.DataAccessNJ
+}
+
+// HitLatency returns the hit latency in cycles (bank-internal; the NUCA and
+// L1-to-L2 network latencies live in the sim config).
+func (m *Model) HitLatency(s CacheSpec) int {
+	var cyc float64
+	if s.Lookup == Parallel {
+		cyc = m.ParallelLatBase + m.ParallelLatPerWay*float64(s.Ways)
+	} else {
+		cyc = m.SerialLatBase + m.SerialLatPerWay*float64(s.Ways)
+	}
+	return int(math.Round(cyc))
+}
+
+// HitLatencyExact returns the unrounded hit latency, for ratio reporting.
+func (m *Model) HitLatencyExact(s CacheSpec) float64 {
+	if s.Lookup == Parallel {
+		return m.ParallelLatBase + m.ParallelLatPerWay*float64(s.Ways)
+	}
+	return m.SerialLatBase + m.SerialLatPerWay*float64(s.Ways)
+}
+
+// MissEnergyNJ returns the cache-side energy of one miss, excluding DRAM:
+// the missing demand lookup, controller work, victim writeback read, fill
+// write, plus — for zcaches — the walk's extra single-way tag reads and the
+// relocation traffic (§III-B's E_miss).
+//
+// walkTagReads and relocations are per-miss averages; for a conventional
+// cache both are 0.
+func (m *Model) MissEnergyNJ(s CacheSpec, walkTagReads, relocations float64) float64 {
+	e := m.CtrlMissNJ
+	e += m.tagLookupNJ(s.Ways)                                     // the lookup that missed
+	e += m.DataAccessNJ                                            // victim writeback read
+	e += (m.tagLookupNJ(1) + m.DataAccessNJ) * m.WriteEnergyFactor // fill
+	e += walkTagReads * m.WalkTagReadNJ
+	e += relocations * (m.WalkTagReadNJ + 2*m.RelocDataNJ*m.WriteEnergyFactor)
+	return e
+}
+
+// DefaultWalkStats returns the per-miss walk averages for a W-way, L-level
+// zcache with a full walk: (R - W) single-way tag reads, and the expected
+// relocation count assuming the victim is uniform over candidates (victims
+// at level l cost l-1 relocations).
+func DefaultWalkStats(ways, levels int) (walkTagReads, relocations float64) {
+	if levels <= 1 {
+		return 0, 0
+	}
+	total, weighted := 0.0, 0.0
+	perLevel := float64(ways)
+	for l := 1; l <= levels; l++ {
+		total += perLevel
+		weighted += perLevel * float64(l-1)
+		perLevel *= float64(ways - 1)
+	}
+	return total - float64(ways), weighted / total
+}
+
+// AreaMM2 returns the bank-aggregate area of the design.
+func (m *Model) AreaMM2(s CacheSpec) float64 {
+	dataMB := float64(s.CapacityBytes) / (1 << 20)
+	data := m.DataMM2PerMB * dataMB
+	tagFrac := m.TagBaseFrac + m.TagPerWayFrac*float64(s.Ways)
+	if s.HashedIndex {
+		tagFrac += m.HashTagFrac * m.TagBaseFrac
+	}
+	return data * (1 + tagFrac)
+}
+
+// LeakageW returns the design's static power.
+func (m *Model) LeakageW(s CacheSpec) float64 { return m.AreaMM2(s) * m.LeakWPerMM2 }

@@ -1,0 +1,67 @@
+package hash
+
+import "fmt"
+
+// BitSelect is the index function of a conventional (unhashed)
+// set-associative cache: the low-order bits of the block address select the
+// set. It is the baseline the paper's hashed and skewed designs improve on;
+// strided access patterns whose stride is a multiple of the bucket count all
+// collide in one bucket (§II-A).
+type BitSelect struct {
+	mask  uint64
+	shift uint
+	bkts  uint64
+}
+
+// NewBitSelect returns a bit-selection function taking bits
+// [shift, shift+log2(buckets)) of the address. A cache indexes block
+// addresses (already shifted by the line size), so shift is usually 0.
+func NewBitSelect(shift uint, buckets uint64) (*BitSelect, error) {
+	if err := checkBuckets(buckets); err != nil {
+		return nil, err
+	}
+	if shift+log2(buckets) > 64 {
+		return nil, fmt.Errorf("hash: bit selection [%d,%d) exceeds 64-bit addresses", shift, shift+log2(buckets))
+	}
+	return &BitSelect{mask: buckets - 1, shift: shift, bkts: buckets}, nil
+}
+
+// Hash extracts the selected bit field.
+func (b *BitSelect) Hash(addr uint64) uint64 { return (addr >> b.shift) & b.mask }
+
+// Buckets returns the output range size.
+func (b *BitSelect) Buckets() uint64 { return b.bkts }
+
+// Name identifies this function.
+func (b *BitSelect) Name() string {
+	return fmt.Sprintf("bitselect[shift=%d,b=%d]", b.shift, b.bkts)
+}
+
+// BitSelectFamily produces bit-selection functions. Because bit selection has
+// no seed, all ways receive the *same* function; this family exists to model
+// the conventional set-associative cache inside the same Family-based
+// construction path as the hashed designs. Using it for a skew or zcache
+// array would defeat skewing, so those constructors reject it.
+type BitSelectFamily struct {
+	// Shift is the bit offset of the index field.
+	Shift uint
+}
+
+// New returns count identical bit-selection functions.
+func (f BitSelectFamily) New(count int, buckets uint64) ([]Func, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("hash: function count must be positive, got %d", count)
+	}
+	fn, err := NewBitSelect(f.Shift, buckets)
+	if err != nil {
+		return nil, err
+	}
+	fns := make([]Func, count)
+	for i := range fns {
+		fns[i] = fn
+	}
+	return fns, nil
+}
+
+// FamilyName identifies the family.
+func (f BitSelectFamily) FamilyName() string { return "bitselect" }

@@ -1,0 +1,136 @@
+package hash
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SHA1 folds a from-scratch SHA-1 digest of (seed, addr) down to the bucket
+// range. The paper uses SHA-1-indexed caches only as a quality yardstick: in
+// §IV-C, replacing H3 with SHA-1 makes the measured associativity
+// distributions indistinguishable from the uniformity assumption, showing
+// that residual deviations come from hash quality, not the design.
+//
+// This is far too slow for hardware (or a hot software path); it exists so
+// the repository can re-run that yardstick experiment.
+type SHA1 struct {
+	name string
+	seed uint64
+	mask uint64
+	bkts uint64
+}
+
+// NewSHA1 returns a SHA-1-based hash over the given power-of-two bucket count.
+func NewSHA1(seed uint64, buckets uint64) (*SHA1, error) {
+	if err := checkBuckets(buckets); err != nil {
+		return nil, err
+	}
+	return &SHA1{
+		name: fmt.Sprintf("sha1[seed=%#x,b=%d]", seed, buckets),
+		seed: seed,
+		mask: buckets - 1,
+		bkts: buckets,
+	}, nil
+}
+
+// Hash digests (seed || addr) and folds the 160-bit result by XOR into the
+// bucket range.
+func (s *SHA1) Hash(addr uint64) uint64 {
+	var msg [16]byte
+	binary.BigEndian.PutUint64(msg[0:8], s.seed)
+	binary.BigEndian.PutUint64(msg[8:16], addr)
+	d := sha1Digest(msg[:])
+	folded := uint64(d[0])<<32 ^ uint64(d[1]) ^ uint64(d[2])<<32 ^ uint64(d[3]) ^ uint64(d[4])
+	// Mix the halves so short bucket masks still see all digest words.
+	folded ^= folded >> 32
+	return folded & s.mask
+}
+
+// Buckets returns the output range size.
+func (s *SHA1) Buckets() uint64 { return s.bkts }
+
+// Name identifies this function.
+func (s *SHA1) Name() string { return s.name }
+
+// SHA1Family produces independently seeded SHA-1 folding functions.
+type SHA1Family struct {
+	// Seed is the root seed; way i receives a sub-seed derived from it.
+	Seed uint64
+}
+
+// New returns count independent SHA-1-based hash functions.
+func (f SHA1Family) New(count int, buckets uint64) ([]Func, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("hash: function count must be positive, got %d", count)
+	}
+	fns := make([]Func, count)
+	rng := splitmix64(f.Seed ^ 0x5851f42d4c957f2d)
+	for i := range fns {
+		h, err := NewSHA1(rng(), buckets)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = h
+	}
+	return fns, nil
+}
+
+// FamilyName identifies the family.
+func (f SHA1Family) FamilyName() string { return "sha1" }
+
+// sha1Digest computes the SHA-1 digest of msg (FIPS 180-1), implemented from
+// scratch per the reproduction's no-external-machinery rule. msg may be any
+// length; cache use only ever digests 16 bytes, which fits one block after
+// padding.
+func sha1Digest(msg []byte) [5]uint32 {
+	h := [5]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0}
+
+	// Pad: append 0x80, zeros, then the 64-bit bit length.
+	bitLen := uint64(len(msg)) * 8
+	padded := make([]byte, 0, len(msg)+72)
+	padded = append(padded, msg...)
+	padded = append(padded, 0x80)
+	for len(padded)%64 != 56 {
+		padded = append(padded, 0)
+	}
+	var lenBytes [8]byte
+	binary.BigEndian.PutUint64(lenBytes[:], bitLen)
+	padded = append(padded, lenBytes[:]...)
+
+	var w [80]uint32
+	for blk := 0; blk < len(padded); blk += 64 {
+		for i := 0; i < 16; i++ {
+			w[i] = binary.BigEndian.Uint32(padded[blk+i*4:])
+		}
+		for i := 16; i < 80; i++ {
+			v := w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]
+			w[i] = v<<1 | v>>31
+		}
+		a, b, c, d, e := h[0], h[1], h[2], h[3], h[4]
+		for i := 0; i < 80; i++ {
+			var f, k uint32
+			switch {
+			case i < 20:
+				f = (b & c) | (^b & d)
+				k = 0x5a827999
+			case i < 40:
+				f = b ^ c ^ d
+				k = 0x6ed9eba1
+			case i < 60:
+				f = (b & c) | (b & d) | (c & d)
+				k = 0x8f1bbcdc
+			default:
+				f = b ^ c ^ d
+				k = 0xca62c1d6
+			}
+			tmp := (a<<5 | a>>27) + f + e + k + w[i]
+			e, d, c, b, a = d, c, (b<<30 | b>>2), a, tmp
+		}
+		h[0] += a
+		h[1] += b
+		h[2] += c
+		h[3] += d
+		h[4] += e
+	}
+	return h
+}

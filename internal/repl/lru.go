@@ -1,0 +1,159 @@
+package repl
+
+import "fmt"
+
+// LRU is the paper's "full LRU" for set-less caches (§III-E): a global
+// counter increments on every access, each block carries the counter value
+// of its last touch, and replacement selects the candidate with the lowest
+// timestamp. We use 64-bit timestamps, so wraparound never occurs in
+// practice (the paper's hardware sizing discussion — 32-bit fields to make
+// wraparound rare — is about area, which we model in package energy).
+type LRU struct {
+	counter uint64
+	ts      []uint64
+	valid   []bool
+}
+
+// NewLRU returns a full-timestamp LRU policy for a cache of numBlocks slots.
+func NewLRU(numBlocks int) (*LRU, error) {
+	if err := checkBlocks("lru", numBlocks); err != nil {
+		return nil, err
+	}
+	return &LRU{ts: make([]uint64, numBlocks), valid: make([]bool, numBlocks)}, nil
+}
+
+// Name identifies the policy.
+func (p *LRU) Name() string { return "lru" }
+
+func (p *LRU) touch(id BlockID) {
+	p.counter++
+	p.ts[id] = p.counter
+}
+
+// OnInsert stamps the inserted block as most recent.
+func (p *LRU) OnInsert(id BlockID, addr uint64) {
+	p.valid[id] = true
+	p.touch(id)
+}
+
+// OnAccess stamps the block as most recent.
+func (p *LRU) OnAccess(id BlockID, write bool) { p.touch(id) }
+
+// OnEvict clears the slot.
+func (p *LRU) OnEvict(id BlockID) { p.valid[id] = false; p.ts[id] = 0 }
+
+// OnMove transfers the timestamp to the new slot.
+func (p *LRU) OnMove(from, to BlockID) {
+	p.ts[to], p.valid[to] = p.ts[from], p.valid[from]
+	p.ts[from], p.valid[from] = 0, false
+}
+
+// Select evicts the least recently used candidate.
+func (p *LRU) Select(cands []BlockID) int { return selectMinKey(p, cands) }
+
+// RetentionKey is the last-access timestamp: unique (one counter increment
+// per event) and larger = more recent = more valuable.
+func (p *LRU) RetentionKey(id BlockID) uint64 { return p.ts[id] }
+
+// BucketedLRU is the paper's area-efficient LRU (§III-E): timestamps are n
+// bits and the global counter advances only once every k accesses, so a
+// block rarely survives a full wraparound unevicted. Decisions compare
+// wrapped ages in mod-2^n arithmetic; the global ordering exposed through
+// RetentionKey uses the unwrapped event sequence, so the associativity
+// instrumentation measures the real quality of the wrapped decisions.
+type BucketedLRU struct {
+	bits     uint
+	interval uint64 // accesses per counter increment (paper: k = 5% of cache size)
+	accesses uint64
+	counter  uint64 // wrapped n-bit counter
+	wrapped  []uint16
+	seq      uint64 // unwrapped event sequence for RetentionKey
+	full     []uint64
+	valid    []bool
+}
+
+// NewBucketedLRU returns a bucketed LRU with bits-wide timestamps whose
+// counter increments every interval accesses. The paper evaluates n=8 bits
+// and k = 5% of the cache size.
+func NewBucketedLRU(numBlocks int, bits uint, interval uint64) (*BucketedLRU, error) {
+	if err := checkBlocks("bucketed-lru", numBlocks); err != nil {
+		return nil, err
+	}
+	if bits == 0 || bits > 16 {
+		return nil, fmt.Errorf("repl: bucketed-lru timestamp width must be in [1,16] bits, got %d", bits)
+	}
+	if interval == 0 {
+		return nil, fmt.Errorf("repl: bucketed-lru interval must be positive")
+	}
+	return &BucketedLRU{
+		bits:     bits,
+		interval: interval,
+		wrapped:  make([]uint16, numBlocks),
+		full:     make([]uint64, numBlocks),
+		valid:    make([]bool, numBlocks),
+	}, nil
+}
+
+// PaperBucketedLRU returns the configuration the paper evaluates: 8-bit
+// timestamps, counter increment every 5% of the cache size.
+func PaperBucketedLRU(numBlocks int) (*BucketedLRU, error) {
+	interval := uint64(numBlocks) / 20
+	if interval == 0 {
+		interval = 1
+	}
+	return NewBucketedLRU(numBlocks, 8, interval)
+}
+
+// Name identifies the policy.
+func (p *BucketedLRU) Name() string { return fmt.Sprintf("lru-bucketed[%db,k=%d]", p.bits, p.interval) }
+
+func (p *BucketedLRU) touch(id BlockID) {
+	p.accesses++
+	if p.accesses%p.interval == 0 {
+		p.counter = (p.counter + 1) & ((1 << p.bits) - 1)
+	}
+	p.wrapped[id] = uint16(p.counter)
+	p.seq++
+	p.full[id] = p.seq
+}
+
+// OnInsert stamps the inserted block.
+func (p *BucketedLRU) OnInsert(id BlockID, addr uint64) {
+	p.valid[id] = true
+	p.touch(id)
+}
+
+// OnAccess stamps the block.
+func (p *BucketedLRU) OnAccess(id BlockID, write bool) { p.touch(id) }
+
+// OnEvict clears the slot.
+func (p *BucketedLRU) OnEvict(id BlockID) {
+	p.valid[id] = false
+	p.wrapped[id], p.full[id] = 0, 0
+}
+
+// OnMove transfers both timestamps to the new slot.
+func (p *BucketedLRU) OnMove(from, to BlockID) {
+	p.wrapped[to], p.full[to], p.valid[to] = p.wrapped[from], p.full[from], p.valid[from]
+	p.wrapped[from], p.full[from], p.valid[from] = 0, 0, false
+}
+
+// Select evicts the candidate with the greatest wrapped age, computed in
+// mod-2^n arithmetic against the current counter (§III-E).
+func (p *BucketedLRU) Select(cands []BlockID) int {
+	if len(cands) == 0 {
+		return NoVictim
+	}
+	mask := uint64(1<<p.bits) - 1
+	best, bestAge := 0, uint64(0)
+	for i, id := range cands {
+		age := (p.counter - uint64(p.wrapped[id])) & mask
+		if i == 0 || age > bestAge {
+			best, bestAge = i, age
+		}
+	}
+	return best
+}
+
+// RetentionKey is the unwrapped event sequence of the last touch.
+func (p *BucketedLRU) RetentionKey(id BlockID) uint64 { return p.full[id] }

@@ -1,0 +1,93 @@
+// Package repl implements replacement policies under the paper's analytical
+// model (§IV-A): a policy maintains a *global* ranking of all resident
+// blocks by eviction preference, independent of how the cache array is
+// organized. This is the property that lets the same policy drive a
+// set-associative cache, a skew-associative cache, and a zcache, and lets
+// the associativity framework measure eviction priorities uniformly.
+//
+// Two concerns are deliberately separated, following §II's closing remark
+// that associativity and replacement policy are separate issues:
+//
+//   - Selection: given the replacement candidates the array found, which one
+//     does the policy evict? (Policy.Select)
+//   - Global rank: where does each resident block sit in the policy's global
+//     ordering? (Policy.RetentionKey, consumed by the instrumentation in
+//     package assoc to compute eviction priorities)
+//
+// RetentionKey returns a unique uint64 per resident block where larger means
+// "more valuable / keep longer". Uniqueness is what allows O(log B) rank
+// queries via the order-statistics treap.
+package repl
+
+import "fmt"
+
+// BlockID identifies a resident block's physical slot in a cache array
+// (way*rows + row). It is stable while the block stays in that slot; zcache
+// relocations move a block between slots via OnMove.
+type BlockID uint32
+
+// NoVictim is returned by Select implementations when given no candidates.
+const NoVictim = -1
+
+// Policy is a replacement policy driven by cache events.
+//
+// The cache wrapper guarantees: OnInsert is called at most once per slot
+// without an intervening OnEvict for that slot; OnAccess/OnEvict/OnMove only
+// reference slots previously inserted; OnMove's destination slot is vacant.
+// Policies are not safe for concurrent use; each cache owns one instance.
+type Policy interface {
+	// Name identifies the policy, for reports.
+	Name() string
+	// OnInsert records that addr became resident in slot id.
+	OnInsert(id BlockID, addr uint64)
+	// OnAccess records a hit on slot id.
+	OnAccess(id BlockID, write bool)
+	// OnEvict records that slot id's block left the cache.
+	OnEvict(id BlockID)
+	// OnMove records a zcache relocation of a resident block from one
+	// slot to another (the block itself, and thus its rank, is unchanged).
+	OnMove(from, to BlockID)
+	// Select returns the index within cands of the block to evict, or
+	// NoVictim if cands is empty. cands always holds resident slots.
+	Select(cands []BlockID) int
+	// RetentionKey returns the block's position in the policy's global
+	// ordering: unique across resident blocks, larger = more valuable.
+	RetentionKey(id BlockID) uint64
+}
+
+// FutureAware is implemented by trace-driven policies (OPT) that need the
+// future of the reference stream. The driver calls SetNextUse with the
+// current access's next-use index (trace.NoNextUse if never reused) before
+// invoking the cache, so OnInsert/OnAccess can attach it to the block.
+type FutureAware interface {
+	SetNextUse(next uint64)
+}
+
+// selectMinKey is the shared Select implementation: evict the candidate with
+// the smallest RetentionKey. Policies whose decision metric differs from
+// their global ordering (bucketed LRU's wrapped timestamps, SRRIP's RRPV
+// scan) override this.
+func selectMinKey(p Policy, cands []BlockID) int {
+	if len(cands) == 0 {
+		return NoVictim
+	}
+	best := 0
+	bestKey := p.RetentionKey(cands[0])
+	for i := 1; i < len(cands); i++ {
+		if k := p.RetentionKey(cands[i]); k < bestKey {
+			best, bestKey = i, k
+		}
+	}
+	return best
+}
+
+// checkBlocks validates a block-count argument shared by all constructors.
+func checkBlocks(policy string, numBlocks int) error {
+	if numBlocks <= 0 {
+		return fmt.Errorf("repl: %s needs a positive block count, got %d", policy, numBlocks)
+	}
+	if numBlocks > 1<<31 {
+		return fmt.Errorf("repl: %s block count %d exceeds BlockID range", policy, numBlocks)
+	}
+	return nil
+}

@@ -1,0 +1,484 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"zcache/internal/cache"
+	"zcache/internal/energy"
+	"zcache/internal/trace"
+)
+
+// dirEntry is one line's directory state at the inclusive L2 (Table I:
+// "MESI directory coherence"). Sharers is a core bitmask; owner is the core
+// holding the line modified, or -1.
+type dirEntry struct {
+	sharers uint64
+	owner   int8
+}
+
+// l2bank is one NUCA bank: a cache plus the directory slice for its lines.
+type l2bank struct {
+	cache *cache.Cache
+	dir   map[uint64]*dirEntry // keyed by full line address
+	// demand counts demand lookups (the §VI-D "core accesses" load).
+	demand uint64
+	// nextFree models the bank's pipelined tag port: one demand access
+	// occupies one issue slot; a request arriving while the port is
+	// backed up queues. Walk traffic deliberately does not occupy the
+	// port here — §VI-D's point is that walks use spare bandwidth and
+	// yield to demand accesses.
+	nextFree uint64
+}
+
+// bankQueueDelay advances the bank's issue queue and returns the cycles a
+// demand access arriving at time now waits.
+func (b *l2bank) bankQueueDelay(now uint64) uint64 {
+	start := now
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+	b.nextFree = start + 1
+	return start - now
+}
+
+// core is one in-order CPU with its private L1.
+type core struct {
+	id     int
+	gen    trace.Generator
+	l1     *cache.Cache
+	cycles uint64
+	instrs uint64
+	// warmupInstrs/warmupCycles snapshot the clock at measurement start
+	// so metrics cover only the measured phase.
+	warmupInstrs uint64
+	warmupCycles uint64
+	done         bool
+}
+
+// coreHeap orders cores by local time (ties by id, for determinism).
+type coreHeap []*core
+
+func (h coreHeap) Len() int { return len(h) }
+func (h coreHeap) Less(i, j int) bool {
+	if h[i].cycles != h[j].cycles {
+		return h[i].cycles < h[j].cycles
+	}
+	return h[i].id < h[j].id
+}
+func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*core)) }
+func (h *coreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Metrics is the outcome of a run: activity counts for the energy model
+// plus the bandwidth figures of §VI-D.
+type Metrics struct {
+	Counts energy.SystemCounts
+	// PerCoreIPC holds each core's instructions/cycles.
+	PerCoreIPC []float64
+	// BankDemandLoad and BankTagLoad are the §VI-D figures: average
+	// demand accesses/cycle/bank and total tag accesses (demand + walk)
+	// /cycle/bank.
+	BankDemandLoad float64
+	BankTagLoad    float64
+	// Invalidations counts coherence invalidation messages to L1s.
+	Invalidations uint64
+	// L1Misses counts demand L1 misses (== demand L2 accesses).
+	L1Misses uint64
+}
+
+// System is the execution-driven CMP model.
+type System struct {
+	cfg      Config
+	bankBits uint
+	lineBits uint
+	bankLat  int
+	cores    []*core
+	banks    []*l2bank
+	mcuFree  []uint64
+	mcuOccup uint64
+
+	counts        energy.SystemCounts
+	invalidations uint64
+	l1Misses      uint64
+	// now approximates global time while handling one access: the
+	// issuing core's cycle plus stall accumulated so far.
+	now uint64
+	// stall accumulates the current access's critical-path delay.
+	stall uint64
+}
+
+// NewSystem builds the CMP. gens supplies one generator per core (length
+// must equal cfg.Cores); each core owns its generator.
+func NewSystem(cfg Config, gens []trace.Generator) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gens) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d generators for %d cores", len(gens), cfg.Cores)
+	}
+	bankBits := uint(0)
+	for b := cfg.L2Banks; b > 1; b >>= 1 {
+		bankBits++
+	}
+	s := &System{
+		cfg:      cfg,
+		bankBits: bankBits,
+		lineBits: cfg.lineBits(),
+		bankLat:  cfg.bankLatency(energy.NewModel()),
+		mcuFree:  make([]uint64, cfg.MemControllers),
+	}
+	perMCU := cfg.MemBytesPerCycle / float64(cfg.MemControllers)
+	s.mcuOccup = uint64(float64(cfg.LineBytes)/perMCU + 0.5)
+	if s.mcuOccup == 0 {
+		s.mcuOccup = 1
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		l1, err := buildL1(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c := &core{id: i, gen: gens[i], l1: l1}
+		// L1 victim handling: update the directory and write dirty
+		// victims back to the L2 (inclusive hierarchy).
+		coreID := i
+		l1.OnEviction = func(addr uint64, dirty bool) { s.l1Evicted(coreID, addr, dirty) }
+		s.cores = append(s.cores, c)
+	}
+	for b := 0; b < cfg.L2Banks; b++ {
+		arr, err := buildL2Bank(cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		pol, err := buildPolicy(cfg.L2Policy, arr.Blocks(), cfg.Seed^uint64(b))
+		if err != nil {
+			return nil, err
+		}
+		cc, err := cache.New(arr, pol, s.lineBits)
+		if err != nil {
+			return nil, err
+		}
+		bank := &l2bank{cache: cc, dir: make(map[uint64]*dirEntry, arr.Blocks())}
+		bankIdx := b
+		cc.OnEviction = func(addr uint64, dirty bool) { s.l2Evicted(bankIdx, addr, dirty) }
+		s.banks = append(s.banks, bank)
+	}
+	return s, nil
+}
+
+// bankOf returns the bank index for a full line address.
+func (s *System) bankOf(line uint64) int { return int(line & (uint64(s.cfg.L2Banks) - 1)) }
+
+// bankAddr converts a full line address into the synthetic byte address a
+// bank cache indexes (bank bits stripped so they do not waste index
+// entropy).
+func (s *System) bankAddr(line uint64) uint64 { return (line >> s.bankBits) << s.lineBits }
+
+// fullLine reconstructs the full line address from a bank's synthetic byte
+// address.
+func (s *System) fullLine(bank int, bankByteAddr uint64) uint64 {
+	return (bankByteAddr>>s.lineBits)<<s.bankBits | uint64(bank)
+}
+
+// Run executes the workload until every core retires
+// cfg.InstructionsPerCore instructions (or its generator ends) and returns
+// the metrics. If configured, a warmup phase runs first and is excluded
+// from every counter (the paper's fast-forward methodology, §V).
+func (s *System) Run() (Metrics, error) {
+	if s.cfg.WarmupInstructionsPerCore > 0 {
+		s.phase(s.cfg.WarmupInstructionsPerCore)
+		s.resetCounters()
+	}
+	s.phase(s.cfg.InstructionsPerCore)
+	return s.metrics(), nil
+}
+
+// phase advances every core by target additional instructions.
+func (s *System) phase(target uint64) {
+	h := make(coreHeap, 0, len(s.cores))
+	stops := make([]uint64, len(s.cores))
+	for i, c := range s.cores {
+		stops[i] = c.instrs + target
+		c.done = false
+		h = append(h, c)
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		c := h[0]
+		a, ok := c.gen.Next()
+		if !ok || c.instrs >= stops[c.id] {
+			c.done = true
+			heap.Pop(&h)
+			continue
+		}
+		s.step(c, a)
+		heap.Fix(&h, 0)
+	}
+}
+
+// resetCounters zeroes everything measurement-visible while keeping cache,
+// directory, and policy state warm. Core clocks keep advancing (timing
+// state like bank and MCU queues must stay causally consistent), so the
+// measured phase subtracts the warmup baseline.
+func (s *System) resetCounters() {
+	s.counts = energy.SystemCounts{}
+	s.invalidations = 0
+	s.l1Misses = 0
+	for _, c := range s.cores {
+		c.warmupInstrs = c.instrs
+		c.warmupCycles = c.cycles
+	}
+	for _, b := range s.banks {
+		b.demand = 0
+		*b.cache.Array().Counters() = cache.Counters{}
+	}
+}
+
+// step retires one access (and its non-memory gap) on core c.
+func (s *System) step(c *core, a trace.Access) {
+	c.instrs += uint64(a.Gap) + 1
+	c.cycles += uint64(a.Gap) + 1
+	s.counts.Instructions += uint64(a.Gap) + 1
+	s.counts.L1Accesses++
+
+	line := a.Addr >> s.lineBits
+	s.now = c.cycles
+	s.stall = 0
+	if c.l1.Access(a.Addr, a.Write) {
+		if a.Write {
+			s.writeUpgrade(c.id, line)
+		}
+	} else {
+		s.l1Misses++
+		s.l2Fetch(c.id, line, a.Write)
+	}
+	c.cycles += s.stall
+}
+
+// writeUpgrade handles a store hitting an L1 line that may be shared: other
+// copies are invalidated and c becomes owner (MESI S/E→M).
+func (s *System) writeUpgrade(coreID int, line uint64) {
+	bank := s.banks[s.bankOf(line)]
+	e := bank.dir[line]
+	if e == nil {
+		// Inclusivity means the directory must know the line; a miss
+		// here is a protocol bug.
+		panic(fmt.Sprintf("sim: L1 hit on line %#x unknown to the directory", line))
+	}
+	if e.owner == int8(coreID) {
+		return // already M
+	}
+	others := e.sharers &^ (1 << uint(coreID))
+	if others != 0 {
+		s.invalidateSharers(line, others, bank)
+		s.stall += uint64(s.cfg.L1ToL2) // upgrade round trip
+	}
+	e.sharers = 1 << uint(coreID)
+	e.owner = int8(coreID)
+}
+
+// invalidateSharers removes the line from the given cores' L1s. Dirty
+// copies fold into the L2 (one bank write access).
+func (s *System) invalidateSharers(line uint64, mask uint64, bank *l2bank) {
+	addr := line << s.lineBits
+	for cid := 0; mask != 0; cid++ {
+		if mask&(1<<uint(cid)) == 0 {
+			continue
+		}
+		mask &^= 1 << uint(cid)
+		present, dirty := s.cores[cid].l1.Invalidate(addr)
+		s.invalidations++
+		if present && dirty {
+			s.writebackToL2(line)
+		}
+	}
+}
+
+// writebackToL2 folds an L1 dirty line into its L2 bank (off the critical
+// path; counted for bandwidth and energy).
+func (s *System) writebackToL2(line uint64) {
+	bank := s.banks[s.bankOf(line)]
+	s.counts.L2Accesses++
+	s.counts.Writebacks++
+	// Inclusive L2 holds the line, so this is a write hit. (If a racing
+	// eviction removed it, Access write-allocates it back, which is the
+	// conventional fallback.)
+	if bank.cache.Access(s.bankAddr(line), true) {
+		s.counts.L2Hits++
+	} else {
+		s.counts.L2Misses++
+		s.memAccess(line, false)
+		s.registerFill(line)
+	}
+}
+
+// l2Fetch services an L1 demand miss from the shared L2.
+func (s *System) l2Fetch(coreID int, line uint64, write bool) {
+	bank := s.banks[s.bankOf(line)]
+	bank.demand++
+	s.counts.L2Accesses++
+	s.stall += uint64(s.cfg.L1ToL2)
+	s.stall += bank.bankQueueDelay(s.now + s.stall)
+	s.stall += uint64(s.bankLat)
+
+	// A dirty copy in another L1 must fold into the L2 first (the
+	// directory forwards the request; we charge one extra hop).
+	if e := bank.dir[line]; e != nil && e.owner >= 0 && int(e.owner) != coreID {
+		owner := int(e.owner)
+		addr := line << s.lineBits
+		present, dirty := s.cores[owner].l1.Invalidate(addr)
+		s.invalidations++
+		if present && dirty {
+			s.writebackToL2(line)
+		}
+		s.stall += uint64(s.cfg.L1ToL2)
+		e.owner = -1
+		e.sharers &^= 1 << uint(owner)
+	}
+
+	if bank.cache.Access(s.bankAddr(line), false) {
+		s.counts.L2Hits++
+	} else {
+		s.counts.L2Misses++
+		s.stall += s.memAccess(line, true)
+		s.registerFill(line)
+	}
+
+	// Directory: record the requester.
+	e := bank.dir[line]
+	if e == nil {
+		e = &dirEntry{owner: -1}
+		bank.dir[line] = e
+	}
+	if write {
+		others := e.sharers &^ (1 << uint(coreID))
+		if others != 0 {
+			s.invalidateSharers(line, others, bank)
+		}
+		e.sharers = 1 << uint(coreID)
+		e.owner = int8(coreID)
+	} else {
+		e.sharers |= 1 << uint(coreID)
+	}
+}
+
+// registerFill creates the directory entry for a line just installed in the
+// L2 (sharers fill in as requests arrive).
+func (s *System) registerFill(line uint64) {
+	bank := s.banks[s.bankOf(line)]
+	if bank.dir[line] == nil {
+		bank.dir[line] = &dirEntry{owner: -1}
+	}
+}
+
+// l1Evicted is the L1 victim callback: maintain the directory, fold dirty
+// victims into the L2.
+func (s *System) l1Evicted(coreID int, addr uint64, dirty bool) {
+	line := addr >> s.lineBits
+	bank := s.banks[s.bankOf(line)]
+	if e := bank.dir[line]; e != nil {
+		e.sharers &^= 1 << uint(coreID)
+		if e.owner == int8(coreID) {
+			e.owner = -1
+		}
+	}
+	if dirty {
+		s.writebackToL2(line)
+	}
+}
+
+// l2Evicted is the L2 victim callback: back-invalidate every L1 copy
+// (inclusive hierarchy) and write dirty data to memory.
+func (s *System) l2Evicted(bankIdx int, bankByteAddr uint64, l2dirty bool) {
+	line := s.fullLine(bankIdx, bankByteAddr)
+	bank := s.banks[bankIdx]
+	dirty := l2dirty
+	if e := bank.dir[line]; e != nil {
+		addr := line << s.lineBits
+		mask := e.sharers
+		for cid := 0; mask != 0; cid++ {
+			if mask&(1<<uint(cid)) == 0 {
+				continue
+			}
+			mask &^= 1 << uint(cid)
+			present, d := s.cores[cid].l1.Invalidate(addr)
+			s.invalidations++
+			if present && d {
+				dirty = true
+			}
+		}
+		delete(bank.dir, line)
+	}
+	if dirty {
+		s.counts.Writebacks++
+		s.memAccess(line, false)
+	}
+}
+
+// memAccess models one DRAM access through the line's memory controller:
+// token-bucket bandwidth plus zero-load latency. critical accesses return
+// the stall; writebacks only consume bandwidth.
+func (s *System) memAccess(line uint64, critical bool) uint64 {
+	s.counts.DRAMAccesses++
+	mcu := int((line >> s.bankBits) % uint64(s.cfg.MemControllers))
+	now := s.now + s.stall
+	start := now
+	if s.mcuFree[mcu] > start {
+		start = s.mcuFree[mcu]
+	}
+	s.mcuFree[mcu] = start + s.mcuOccup
+	if !critical {
+		return 0
+	}
+	return (start - now) + uint64(s.cfg.MemLatency)
+}
+
+// metrics finalizes counters into a Metrics.
+func (s *System) metrics() Metrics {
+	var m Metrics
+	var maxCycles uint64
+	for _, c := range s.cores {
+		cycles := c.cycles - c.warmupCycles
+		instrs := c.instrs - c.warmupInstrs
+		if cycles > maxCycles {
+			maxCycles = cycles
+		}
+		ipc := 0.0
+		if cycles > 0 {
+			ipc = float64(instrs) / float64(cycles)
+		}
+		m.PerCoreIPC = append(m.PerCoreIPC, ipc)
+	}
+	s.counts.Cycles = maxCycles
+	var demand, tagLookups uint64
+	for _, b := range s.banks {
+		demand += b.demand
+		ctr := b.cache.Counters()
+		tagLookups += ctr.TagLookups
+		s.counts.L2Relocations += ctr.Relocations
+		// The array counts demand lookups at W single reads each, walk
+		// steps as individual reads, and one tag read per relocation;
+		// recover the walk-only singles for the energy model.
+		demandSingles := (ctr.TagLookups - ctr.WalkLookups) * uint64(s.cfg.L2Ways)
+		extra := uint64(0)
+		if ctr.TagReads > demandSingles+ctr.Relocations {
+			extra = ctr.TagReads - demandSingles - ctr.Relocations
+		}
+		s.counts.L2WalkTagReads += extra
+	}
+	m.Counts = s.counts
+	m.Invalidations = s.invalidations
+	m.L1Misses = s.l1Misses
+	if maxCycles > 0 {
+		denom := float64(maxCycles) * float64(s.cfg.L2Banks)
+		m.BankDemandLoad = float64(demand) / denom
+		m.BankTagLoad = float64(tagLookups) / denom
+	}
+	return m
+}

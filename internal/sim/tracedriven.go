@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"zcache/internal/cache"
+	"zcache/internal/energy"
+	"zcache/internal/repl"
+	"zcache/internal/trace"
+)
+
+// L2Ref is one reference in the captured L2-level stream: an L1 demand miss
+// or an L1 dirty-victim writeback.
+type L2Ref struct {
+	// Line is the full line address.
+	Line uint64
+	// Gap is the instruction count the issuing core retired since its
+	// previous L2 reference (including this reference's instruction).
+	Gap uint32
+	// Core issued the reference.
+	Core uint8
+	// Write marks stores (demand) — they dirty the L1 fill.
+	Write bool
+	// Demand distinguishes demand misses from writebacks.
+	Demand bool
+}
+
+// L2Stream is a captured, design-independent L2 reference stream plus the
+// activity totals of the capture phase (needed for energy accounting).
+type L2Stream struct {
+	Refs []L2Ref
+	// Instructions and L1Accesses are whole-run totals.
+	Instructions uint64
+	L1Accesses   uint64
+	// PerCoreInstructions records each core's retired instructions.
+	PerCoreInstructions []uint64
+}
+
+// CaptureL2Stream runs the cores and their L1s (no L2) and records the
+// L1-filtered reference stream. Because the L1s are fixed across all L2
+// design points, one capture serves every design — this is the paper's
+// trace-driven OPT methodology (§VI-B). Back-invalidation effects on L1
+// contents are absent by construction; DESIGN.md records the substitution.
+func CaptureL2Stream(cfg Config, gens []trace.Generator) (*L2Stream, error) {
+	// Validate with a permissive policy: OPT is legal here.
+	vcfg := cfg
+	if vcfg.L2Policy == PolicyOPT {
+		vcfg.L2Policy = PolicyLRU
+	}
+	if err := vcfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gens) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d generators for %d cores", len(gens), cfg.Cores)
+	}
+	out := &L2Stream{PerCoreInstructions: make([]uint64, cfg.Cores)}
+	lineBits := cfg.lineBits()
+
+	cores := make([]*core, cfg.Cores)
+	lastRef := make([]uint64, cfg.Cores) // instruction count at last emitted ref
+	recording := cfg.WarmupInstructionsPerCore == 0
+	for i := range cores {
+		l1, err := buildL1(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = &core{id: i, gen: gens[i], l1: l1}
+		coreID := i
+		l1.OnEviction = func(addr uint64, dirty bool) {
+			if dirty && recording {
+				out.Refs = append(out.Refs, L2Ref{
+					Line:  addr >> lineBits,
+					Core:  uint8(coreID),
+					Write: true,
+				})
+			}
+		}
+	}
+	// runPhase advances every core by target instructions; only recorded
+	// phases emit refs (warmup mirrors the execution-driven fast-forward).
+	runPhase := func(target uint64) {
+		stops := make([]uint64, len(cores))
+		h := make(coreHeap, 0, cfg.Cores)
+		for i, c := range cores {
+			stops[i] = c.instrs + target
+			h = append(h, c)
+		}
+		heap.Init(&h)
+		for h.Len() > 0 {
+			c := h[0]
+			a, ok := c.gen.Next()
+			if !ok || c.instrs >= stops[c.id] {
+				heap.Pop(&h)
+				continue
+			}
+			c.instrs += uint64(a.Gap) + 1
+			c.cycles = c.instrs // no stalls in capture: interleave by progress
+			if recording {
+				out.Instructions += uint64(a.Gap) + 1
+				out.L1Accesses++
+			}
+			if !c.l1.Access(a.Addr, a.Write) && recording {
+				out.Refs = append(out.Refs, L2Ref{
+					Line:   a.Addr >> lineBits,
+					Gap:    uint32(c.instrs - lastRef[c.id]),
+					Core:   uint8(c.id),
+					Write:  a.Write,
+					Demand: true,
+				})
+				lastRef[c.id] = c.instrs
+			}
+			heap.Fix(&h, 0)
+		}
+	}
+	if cfg.WarmupInstructionsPerCore > 0 {
+		runPhase(cfg.WarmupInstructionsPerCore)
+		for i, c := range cores {
+			lastRef[i] = c.instrs
+		}
+		recording = true
+	}
+	base := make([]uint64, len(cores))
+	for i, c := range cores {
+		base[i] = c.instrs
+	}
+	runPhase(cfg.InstructionsPerCore)
+	for i, c := range cores {
+		out.PerCoreInstructions[i] = c.instrs - base[i]
+	}
+	return out, nil
+}
+
+// ReplayL2 replays a captured stream through the configured L2 design and
+// policy (any policy, including OPT) and returns the run's metrics. The
+// replay is trace-driven: the stream's order is fixed, coherence upgrades
+// are not re-simulated, and stalls are charged per reference.
+func ReplayL2(cfg Config, stream *L2Stream) (Metrics, error) {
+	vcfg := cfg
+	if vcfg.L2Policy == PolicyOPT {
+		vcfg.L2Policy = PolicyLRU
+	}
+	if err := vcfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if stream == nil {
+		return Metrics{}, fmt.Errorf("sim: nil L2 stream")
+	}
+	if len(stream.Refs) == 0 {
+		// A workload whose working set the L1s fully absorb (the
+		// paper's blackscholes class) produces no L2 references in the
+		// measured phase: every core runs at IPC=1 and the L2 design
+		// is irrelevant, which is itself a Fig. 4/5 data point.
+		if stream.Instructions == 0 {
+			return Metrics{}, fmt.Errorf("sim: empty L2 stream with no instructions")
+		}
+		var m Metrics
+		m.Counts.Instructions = stream.Instructions
+		m.Counts.L1Accesses = stream.L1Accesses
+		var maxCycles uint64
+		for c := 0; c < cfg.Cores; c++ {
+			cyc := stream.PerCoreInstructions[c]
+			if cyc > maxCycles {
+				maxCycles = cyc
+			}
+			m.PerCoreIPC = append(m.PerCoreIPC, 1.0)
+		}
+		m.Counts.Cycles = maxCycles
+		return m, nil
+	}
+	bankBits := uint(0)
+	for b := cfg.L2Banks; b > 1; b >>= 1 {
+		bankBits++
+	}
+	lineBits := cfg.lineBits()
+	bankLat := cfg.bankLatency(energy.NewModel())
+
+	// Next-use annotation over the fixed global stream feeds OPT.
+	accesses := make([]trace.Access, len(stream.Refs))
+	for i, r := range stream.Refs {
+		accesses[i] = trace.Access{Addr: r.Line << lineBits, Write: r.Write}
+	}
+	nextUse, err := trace.AnnotateNextUse(accesses, cfg.LineBytes)
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	type rbank struct {
+		cache  *cache.Cache
+		policy repl.Policy
+		demand uint64
+	}
+	banks := make([]*rbank, cfg.L2Banks)
+	var counts energy.SystemCounts
+	mcuFree := make([]uint64, cfg.MemControllers)
+	perMCU := cfg.MemBytesPerCycle / float64(cfg.MemControllers)
+	mcuOccup := uint64(float64(cfg.LineBytes)/perMCU + 0.5)
+	if mcuOccup == 0 {
+		mcuOccup = 1
+	}
+	for b := range banks {
+		arr, err := buildL2Bank(cfg, b)
+		if err != nil {
+			return Metrics{}, err
+		}
+		pol, err := buildPolicy(cfg.L2Policy, arr.Blocks(), cfg.Seed^uint64(b))
+		if err != nil {
+			return Metrics{}, err
+		}
+		cc, err := cache.New(arr, pol, lineBits)
+		if err != nil {
+			return Metrics{}, err
+		}
+		cc.OnEviction = func(addr uint64, dirty bool) {
+			if dirty {
+				counts.Writebacks++
+				counts.DRAMAccesses++
+			}
+		}
+		banks[b] = &rbank{cache: cc, policy: pol}
+	}
+
+	coreCycles := make([]uint64, cfg.Cores)
+	for i, r := range stream.Refs {
+		bank := banks[int(r.Line&(uint64(cfg.L2Banks)-1))]
+		bankAddr := (r.Line >> bankBits) << lineBits
+		if fa, ok := bank.policy.(repl.FutureAware); ok {
+			fa.SetNextUse(nextUse[i])
+		}
+		counts.L2Accesses++
+		if r.Demand {
+			bank.demand++
+			coreCycles[r.Core] += uint64(r.Gap)
+			stall := uint64(cfg.L1ToL2 + bankLat)
+			if bank.cache.Access(bankAddr, r.Write) {
+				counts.L2Hits++
+			} else {
+				counts.L2Misses++
+				counts.DRAMAccesses++
+				mcu := int((r.Line >> bankBits) % uint64(cfg.MemControllers))
+				now := coreCycles[r.Core] + stall
+				start := now
+				if mcuFree[mcu] > start {
+					start = mcuFree[mcu]
+				}
+				mcuFree[mcu] = start + mcuOccup
+				stall += (start - now) + uint64(cfg.MemLatency)
+			}
+			coreCycles[r.Core] += stall
+		} else {
+			// Writeback: off the critical path.
+			if bank.cache.Access(bankAddr, true) {
+				counts.L2Hits++
+			} else {
+				counts.L2Misses++
+				counts.DRAMAccesses++
+			}
+		}
+	}
+
+	var m Metrics
+	counts.Instructions = stream.Instructions
+	counts.L1Accesses = stream.L1Accesses
+	var maxCycles uint64
+	for c := 0; c < cfg.Cores; c++ {
+		// A core's cycles: its instructions plus its accumulated
+		// stalls (stored in coreCycles along with gap instructions).
+		total := coreCycles[c]
+		if rem := stream.PerCoreInstructions[c] - minu64(stream.PerCoreInstructions[c], sumGaps(stream.Refs, c)); rem > 0 {
+			total += rem // instructions after the core's last L2 ref
+		}
+		if total > maxCycles {
+			maxCycles = total
+		}
+		if total > 0 {
+			m.PerCoreIPC = append(m.PerCoreIPC, float64(stream.PerCoreInstructions[c])/float64(total))
+		} else {
+			m.PerCoreIPC = append(m.PerCoreIPC, 1.0)
+		}
+	}
+	counts.Cycles = maxCycles
+	var demand, tagLookups uint64
+	for _, b := range banks {
+		demand += b.demand
+		ctr := b.cache.Counters()
+		tagLookups += ctr.TagLookups
+		counts.L2Relocations += ctr.Relocations
+		demandSingles := (ctr.TagLookups - ctr.WalkLookups) * uint64(cfg.L2Ways)
+		if ctr.TagReads > demandSingles+ctr.Relocations {
+			counts.L2WalkTagReads += ctr.TagReads - demandSingles - ctr.Relocations
+		}
+	}
+	m.Counts = counts
+	m.L1Misses = demand
+	if maxCycles > 0 {
+		denom := float64(maxCycles) * float64(cfg.L2Banks)
+		m.BankDemandLoad = float64(demand) / denom
+		m.BankTagLoad = float64(tagLookups) / denom
+	}
+	return m, nil
+}
+
+// sumGaps totals the demand gaps recorded for one core.
+func sumGaps(refs []L2Ref, coreID int) uint64 {
+	var s uint64
+	for _, r := range refs {
+		if r.Demand && int(r.Core) == coreID {
+			s += uint64(r.Gap)
+		}
+	}
+	return s
+}
+
+func minu64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned plain-text tables for the figure/table regeneration
+// tools. Rows are added left to right; cells are stringified with %v unless
+// they are float64, which render with 3 decimal places (enough precision for
+// every ratio the paper reports).
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row. Extra cells are dropped; missing cells render empty.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(t.header))
+	for i := 0; i < len(row) && i < len(cells); i++ {
+		switch v := cells[i].(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,207 @@
+// Package tlb explores the paper's first deferred use case (§VIII): "using
+// zcaches to build highly associative first-level caches and TLBs for
+// multithreaded cores". A TLB is small (tens to hundreds of entries), so
+// conventional designs buy associativity with fully-associative CAMs —
+// expensive in energy and latency at every access. A zcache-organized TLB
+// keeps lookups at W-way cost while the replacement walk supplies the
+// associativity; because the structure is tiny, the §III-D refinements
+// matter here: repeats are common (the Bloom filter earns its keep) and
+// the walk may cover a large fraction of the array.
+//
+// The model is translation-shaped but tags-only: entries map virtual page
+// numbers; a miss costs a page-table walk. Energy figures reuse the cache
+// model's per-way scaling argument — a 64-entry CAM activates 64 tag
+// comparators per lookup, a 4-way zcache TLB activates 4.
+package tlb
+
+import (
+	"fmt"
+
+	"zcache/internal/cache"
+	"zcache/internal/hash"
+	"zcache/internal/repl"
+)
+
+// Design selects the TLB organization.
+type Design int
+
+const (
+	// FullyAssociative is the conventional CAM-based TLB.
+	FullyAssociative Design = iota
+	// SetAssociative is a low-cost, low-associativity TLB.
+	SetAssociative
+	// ZCacheTLB is a zcache-organized TLB with repeat-avoiding walks.
+	ZCacheTLB
+)
+
+// String names the design.
+func (d Design) String() string {
+	switch d {
+	case FullyAssociative:
+		return "fully-associative"
+	case SetAssociative:
+		return "set-associative"
+	case ZCacheTLB:
+		return "zcache"
+	default:
+		return fmt.Sprintf("design(%d)", int(d))
+	}
+}
+
+// Config describes a TLB.
+type Config struct {
+	// Entries is the TLB capacity (translations).
+	Entries int
+	// Ways applies to the set-associative and zcache designs.
+	Ways int
+	// WalkLevels is the zcache walk depth.
+	WalkLevels int
+	// PageBits is log2(page size); 12 for 4KB pages.
+	PageBits uint
+	// Design selects the organization.
+	Design Design
+	// PageWalkCycles is the miss penalty (a radix page-table walk).
+	PageWalkCycles int
+	// Seed feeds the hash functions.
+	Seed uint64
+}
+
+// PaperlikeConfig returns a 64-entry, 4KB-page TLB of the given design —
+// the shape §VIII gestures at.
+func PaperlikeConfig(d Design) Config {
+	return Config{
+		Entries:        64,
+		Ways:           4,
+		WalkLevels:     3,
+		PageBits:       12,
+		Design:         d,
+		PageWalkCycles: 30,
+		Seed:           0x7 + uint64(d),
+	}
+}
+
+// Stats summarizes a TLB's activity.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	PageWalks uint64
+	// StallCycles is the total page-walk penalty.
+	StallCycles uint64
+	// LookupComparators is the number of tag comparators activated per
+	// lookup — the CAM-vs-ways energy argument in one number.
+	LookupComparators int
+}
+
+// TLB is a translation lookaside buffer over one of the three designs.
+type TLB struct {
+	cfg   Config
+	cache *cache.Cache
+	stats Stats
+}
+
+// New builds a TLB.
+func New(cfg Config) (*TLB, error) {
+	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
+		return nil, fmt.Errorf("tlb: entries must be a positive power of two, got %d", cfg.Entries)
+	}
+	if cfg.PageBits < 10 || cfg.PageBits > 21 {
+		return nil, fmt.Errorf("tlb: page bits %d outside [10,21]", cfg.PageBits)
+	}
+	if cfg.PageWalkCycles <= 0 {
+		return nil, fmt.Errorf("tlb: page walk cost must be positive")
+	}
+	var (
+		arr cache.Array
+		err error
+	)
+	switch cfg.Design {
+	case FullyAssociative:
+		arr, err = cache.NewFullyAssoc(cfg.Entries)
+	case SetAssociative:
+		if cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+			return nil, fmt.Errorf("tlb: %d entries do not divide into %d ways", cfg.Entries, cfg.Ways)
+		}
+		var idx *hash.BitSelect
+		idx, err = hash.NewBitSelect(0, uint64(cfg.Entries/cfg.Ways))
+		if err == nil {
+			arr, err = cache.NewSetAssoc(cfg.Ways, uint64(cfg.Entries/cfg.Ways), idx)
+		}
+	case ZCacheTLB:
+		if cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+			return nil, fmt.Errorf("tlb: %d entries do not divide into %d ways", cfg.Entries, cfg.Ways)
+		}
+		rows := uint64(cfg.Entries / cfg.Ways)
+		var fns []hash.Func
+		fns, err = (hash.H3Family{Seed: cfg.Seed}).New(cfg.Ways, rows)
+		if err == nil {
+			levels := cfg.WalkLevels
+			if levels == 0 {
+				levels = 2
+			}
+			// Small structure: repeats are common (§III-D), so the
+			// Bloom filter is on by default here.
+			arr, err = cache.NewZCache(rows, fns, levels, cache.WithRepeatAvoidance(10, 2))
+		}
+	default:
+		return nil, fmt.Errorf("tlb: unknown design %d", cfg.Design)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pol, err := repl.NewLRU(arr.Blocks())
+	if err != nil {
+		return nil, err
+	}
+	// The controller's "line size" is the page size: the TLB maps pages.
+	c, err := cache.New(arr, pol, cfg.PageBits)
+	if err != nil {
+		return nil, err
+	}
+	t := &TLB{cfg: cfg, cache: c}
+	switch cfg.Design {
+	case FullyAssociative:
+		t.stats.LookupComparators = cfg.Entries
+	default:
+		t.stats.LookupComparators = cfg.Ways
+	}
+	return t, nil
+}
+
+// Translate looks the virtual address's page up, performing a page walk and
+// installing the translation on a miss. It returns whether the access hit
+// and the cycles it cost beyond the base lookup.
+func (t *TLB) Translate(vaddr uint64) (hit bool, extraCycles int) {
+	t.stats.Accesses++
+	if t.cache.Access(vaddr, false) {
+		t.stats.Hits++
+		return true, 0
+	}
+	t.stats.Misses++
+	t.stats.PageWalks++
+	t.stats.StallCycles += uint64(t.cfg.PageWalkCycles)
+	return false, t.cfg.PageWalkCycles
+}
+
+// Invalidate drops one page's translation (a TLB shootdown).
+func (t *TLB) Invalidate(vaddr uint64) bool {
+	present, _ := t.cache.Invalidate(vaddr)
+	return present
+}
+
+// Stats returns the activity summary.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// HitRate returns hits/accesses.
+func (t *TLB) HitRate() float64 {
+	if t.stats.Accesses == 0 {
+		return 0
+	}
+	return float64(t.stats.Hits) / float64(t.stats.Accesses)
+}
+
+// Design returns the configured organization.
+func (t *TLB) Design() Design { return t.cfg.Design }
+
+// Cache exposes the underlying controller for instrumentation.
+func (t *TLB) Cache() *cache.Cache { return t.cache }

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace guards the binary decoder against hostile inputs: it must
+// error or decode cleanly, never panic or over-allocate (run with
+// `go test -fuzz FuzzReadTrace ./internal/trace`).
+func FuzzReadTrace(f *testing.F) {
+	var seedBuf bytes.Buffer
+	_ = WriteTrace(&seedBuf, []Access{{Addr: 1, Gap: 2}, {Addr: 3, Write: true}})
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte("ZTRC"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accs, err := ReadTrace(bytes.NewReader(data))
+		if err == nil {
+			// A successful decode must round-trip.
+			var out bytes.Buffer
+			if werr := WriteTrace(&out, accs); werr != nil {
+				t.Fatalf("re-encode failed: %v", werr)
+			}
+			back, rerr := ReadTrace(&out)
+			if rerr != nil || len(back) != len(accs) {
+				t.Fatalf("round trip broke: %v, %d vs %d", rerr, len(back), len(accs))
+			}
+		}
+	})
+}
+
+// FuzzAnnotateNextUse checks the oracle invariants on arbitrary streams:
+// next[i] is either NoNextUse or a later index referencing the same line.
+func FuzzAnnotateNextUse(f *testing.F) {
+	f.Add([]byte{1, 2, 1, 3}, uint8(6))
+	f.Fuzz(func(t *testing.T, raw []byte, lineBitsRaw uint8) {
+		lineBits := uint(lineBitsRaw%7) + 4 // 16B..1KB lines
+		lineSize := uint64(1) << lineBits
+		accs := make([]Access, len(raw))
+		for i, b := range raw {
+			accs[i] = Access{Addr: uint64(b) * 32}
+		}
+		next, err := AnnotateNextUse(accs, lineSize)
+		if err != nil {
+			t.Fatalf("power-of-two line rejected: %v", err)
+		}
+		for i, n := range next {
+			if n == NoNextUse {
+				for j := i + 1; j < len(accs); j++ {
+					if accs[j].Addr>>lineBits == accs[i].Addr>>lineBits {
+						t.Fatalf("index %d marked NoNextUse but %d references the same line", i, j)
+					}
+				}
+				continue
+			}
+			if n <= uint64(i) || n >= uint64(len(accs)) {
+				t.Fatalf("next[%d] = %d out of range", i, n)
+			}
+			if accs[n].Addr>>lineBits != accs[i].Addr>>lineBits {
+				t.Fatalf("next[%d] = %d references a different line", i, n)
+			}
+			for j := uint64(i) + 1; j < n; j++ {
+				if accs[j].Addr>>lineBits == accs[i].Addr>>lineBits {
+					t.Fatalf("next[%d] = %d skipped earlier reuse at %d", i, n, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package trace
+
+import "fmt"
+
+// Phased cycles through component generators, running each for a fixed
+// number of accesses before moving to the next — program phase behaviour
+// (initialization, compute, I/O-ish bursts). The §VIII adaptive-
+// associativity example drives its controller with one of these.
+type Phased struct {
+	name    string
+	parts   []Generator
+	lengths []uint64
+	idx     int
+	used    uint64
+}
+
+// NewPhased returns a generator that runs parts[i] for lengths[i] accesses,
+// cycling forever.
+func NewPhased(name string, parts []Generator, lengths []uint64) (*Phased, error) {
+	if len(parts) == 0 || len(parts) != len(lengths) {
+		return nil, fmt.Errorf("trace: phased needs matching non-empty parts (%d) and lengths (%d)", len(parts), len(lengths))
+	}
+	for i, l := range lengths {
+		if l == 0 {
+			return nil, fmt.Errorf("trace: phase %d has zero length", i)
+		}
+	}
+	return &Phased{name: name, parts: parts, lengths: lengths}, nil
+}
+
+// Next returns the next access from the current phase.
+func (g *Phased) Next() (Access, bool) {
+	if g.used >= g.lengths[g.idx] {
+		g.used = 0
+		g.idx = (g.idx + 1) % len(g.parts)
+	}
+	g.used++
+	a, ok := g.parts[g.idx].Next()
+	if !ok {
+		// A finite component restarts when its phase comes around.
+		g.parts[g.idx].Reset()
+		return g.parts[g.idx].Next()
+	}
+	return a, true
+}
+
+// Reset rewinds all phases.
+func (g *Phased) Reset() {
+	g.idx, g.used = 0, 0
+	for _, p := range g.parts {
+		p.Reset()
+	}
+}
+
+// Name identifies the generator.
+func (g *Phased) Name() string { return g.name }
+
+// Phase returns the index of the phase the next access will come from.
+func (g *Phased) Phase() int {
+	if g.used >= g.lengths[g.idx] {
+		return (g.idx + 1) % len(g.parts)
+	}
+	return g.idx
+}

@@ -1,0 +1,81 @@
+// Package trace provides the memory-reference substrate for the
+// reproduction: access records, deterministic synthetic generators standing
+// in for the paper's Pin-captured PARSEC/SPECOMP/SPECCPU2006 streams, a
+// binary on-disk trace format, and the backwards next-use annotation pass
+// that the OPT (Belady) replacement policy consumes.
+//
+// Substitution note (see DESIGN.md §2): the paper drives its simulator with
+// instrumented x86-64 executions. Associativity behaviour depends on the
+// statistics of the reference stream — reuse distances, conflict structure,
+// sharing, and the ratio of memory to non-memory instructions — not on ISA
+// semantics, so the generators here are parameterised to produce streams
+// with the same qualitative properties the paper's workload classes exhibit.
+// Every generator is seeded and fully deterministic.
+package trace
+
+import "fmt"
+
+// Access is one memory reference in a thread's instruction stream.
+type Access struct {
+	// Addr is the byte address referenced. Caches shift it by their line
+	// size; generators therefore work at byte granularity.
+	Addr uint64
+	// Gap is the number of non-memory instructions executed before this
+	// access. The timing model charges Gap cycles of IPC=1 progress
+	// (Table I: in-order cores, IPC=1 except on memory accesses).
+	Gap uint32
+	// Write marks stores; they drive MESI ownership and writebacks.
+	Write bool
+}
+
+// Generator produces a deterministic access stream. Generators are not safe
+// for concurrent use; the simulator gives each core its own instance.
+type Generator interface {
+	// Next returns the next access. ok is false when the stream is
+	// exhausted; synthetic generators are typically infinite and always
+	// return ok == true.
+	Next() (a Access, ok bool)
+	// Reset rewinds the stream to its initial state. After Reset the
+	// generator replays the identical sequence.
+	Reset()
+	// Name identifies the generator and its parameters.
+	Name() string
+}
+
+// rng is a small deterministic xorshift64* generator embedded by the
+// synthetic generators. The zero value is invalid; seed must be non-zero,
+// which the constructors guarantee by mixing in a constant.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) rng { return rng{state: seed | 1} }
+
+func (r *rng) next() uint64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return r.state * 0x2545f4914f6cdd1d
+}
+
+// below returns a uniform value in [0, n).
+func (r *rng) below(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.next() % n
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// validateCommon checks parameters shared by the synthetic generators.
+func validateCommon(name string, lineSize uint64, footprint uint64) error {
+	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
+		return fmt.Errorf("trace: %s line size must be a power of two, got %d", name, lineSize)
+	}
+	if footprint < lineSize {
+		return fmt.Errorf("trace: %s footprint %d smaller than one line (%d)", name, footprint, lineSize)
+	}
+	return nil
+}
