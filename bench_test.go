@@ -9,7 +9,9 @@
 package zcache
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"zcache/internal/energy"
 	"zcache/internal/sim"
@@ -128,7 +130,7 @@ func fig4Bench(b *testing.B, pol sim.Policy) {
 	for i := 0; i < b.N; i++ {
 		e := NewExperiment(TestPreset())
 		var err error
-		lines, err = e.Fig4(benchWorkloads, pol)
+		lines, err = e.Fig4(context.Background(), benchWorkloads, pol)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +158,7 @@ func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewExperiment(TestPreset())
 		var err error
-		cells, err = e.Fig5(benchWorkloads, sim.PolicyBucketedLRU)
+		cells, err = e.Fig5(context.Background(), benchWorkloads, sim.PolicyBucketedLRU)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +178,7 @@ func BenchmarkBandwidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewExperiment(TestPreset())
 		var err error
-		pts, err = e.Bandwidth(benchWorkloads)
+		pts, err = e.Bandwidth(context.Background(), benchWorkloads)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -192,6 +194,39 @@ func BenchmarkBandwidth(b *testing.B) {
 	}
 	b.ReportMetric(maxDemand, "maxDemandLoad")
 	b.ReportMetric(maxTag, "maxTagLoad")
+}
+
+// BenchmarkFigureSuiteWarm measures the runlab store's payoff: one cold
+// Fig. 4 suite populates the store (timed separately and reported as
+// cold-ms), then every iteration reruns the identical suite warm. The
+// cold/warm ratio is the speedup an interrupted-and-resumed or repeated
+// full figure run sees; warm iterations perform zero simulations.
+func BenchmarkFigureSuiteWarm(b *testing.B) {
+	dir := b.TempDir()
+	runSuite := func() {
+		e := NewExperiment(TestPreset())
+		if _, err := e.AttachStore(dir); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Fig4(context.Background(), benchWorkloads, sim.PolicyBucketedLRU); err != nil {
+			b.Fatal(err)
+		}
+		if p := e.Lab.Last(); p.Failed != 0 {
+			b.Fatalf("failed cells: %+v", p)
+		}
+	}
+	coldStart := time.Now()
+	runSuite()
+	cold := time.Since(coldStart)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSuite()
+	}
+	warm := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(cold.Milliseconds()), "cold-ms")
+	if warm > 0 {
+		b.ReportMetric(float64(cold)/float64(warm), "cold/warm")
+	}
 }
 
 // BenchmarkMeritFigures regenerates the §III-B figures of merit.
@@ -213,7 +248,7 @@ func BenchmarkHeadlineClaims(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewExperiment(TestPreset())
 		var err error
-		cells, err = e.Fig5(benchWorkloads, sim.PolicyBucketedLRU)
+		cells, err = e.Fig5(context.Background(), benchWorkloads, sim.PolicyBucketedLRU)
 		if err != nil {
 			b.Fatal(err)
 		}

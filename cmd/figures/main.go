@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"zcache"
 	"zcache/internal/sim"
@@ -29,11 +32,17 @@ func main() {
 	policy := flag.String("policy", "lru", `replacement policy: "lru" (bucketed, as evaluated), "lru-full", "opt", "random", "lfu", "srrip", or "drrip"`)
 	full := flag.Bool("full", false, "use the paper-scale machine (slower)")
 	workloadsFlag := flag.String("workloads", "", "comma-separated workload subset (default: all 72)")
+	store := flag.String("store", zcache.DefaultStoreDir, "runlab result store for incremental reruns (\"\" recomputes everything)")
 	flag.Parse()
 	var subset []string
 	if *workloadsFlag != "" {
 		subset = strings.Split(*workloadsFlag, ",")
 	}
+
+	// Ctrl-C checkpoints completed cells; rerunning the same command
+	// resumes from them.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	preset := zcache.QuickPreset()
 	if *full {
@@ -59,17 +68,23 @@ func main() {
 		log.Fatalf("unknown policy %q", *policy)
 	}
 	e := zcache.NewExperiment(preset)
+	if *store != "" {
+		if _, err := e.AttachStore(*store); err != nil {
+			log.Fatal(err)
+		}
+		e.Lab.Label = "figures/" + *fig + "/" + *policy
+	}
 	switch *fig {
 	case "4":
-		fig4(e, pol, subset)
+		fig4(ctx, e, pol, subset)
 	case "5":
-		fig5(e, pol)
+		fig5(ctx, e, pol)
 	case "bw":
-		bandwidth(e)
+		bandwidth(ctx, e)
 	case "headline":
-		headline(e)
+		headline(ctx, e)
 	case "policies":
-		policyStudy(e)
+		policyStudy(ctx, e)
 	default:
 		log.Fatalf("unknown figure %q", *fig)
 	}
@@ -77,11 +92,11 @@ func main() {
 
 // policyStudy fixes the array (Z4/52) and sweeps replacement policies — the
 // §II/§VIII orthogonality experiment the paper defers.
-func policyStudy(e *zcache.Experiment) {
+func policyStudy(ctx context.Context, e *zcache.Experiment) {
 	fmt.Printf("Policy study (Z4/52 array fixed, %s preset): per-workload IPC and MPKI\n", e.Preset.Name)
 	fmt.Println("improvements vs the same array under bucketed LRU, sorted per policy.")
 	policies := []sim.Policy{sim.PolicyLRU, sim.PolicySRRIP, sim.PolicyDRRIP, sim.PolicyLFU, sim.PolicyRandom}
-	lines, err := e.PolicyStudy(nil, policies)
+	lines, err := e.PolicyStudy(ctx, nil, policies)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,10 +130,10 @@ func policyStudy(e *zcache.Experiment) {
 	fmt.Println("the §VIII direction (a policy that needs no set ordering).")
 }
 
-func fig4(e *zcache.Experiment, pol sim.Policy, subset []string) {
+func fig4(ctx context.Context, e *zcache.Experiment, pol sim.Policy, subset []string) {
 	fmt.Printf("Fig. 4 (%v, %s preset): improvements over the serial SA-4+H3 baseline.\n", pol, e.Preset.Name)
 	fmt.Println("Workloads sorted per design (x-axis of the paper's monotone lines).")
-	lines, err := e.Fig4(subset, pol)
+	lines, err := e.Fig4(ctx, subset, pol)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -167,9 +182,9 @@ func printLines(lines []zcache.Fig4Line, get func(zcache.Fig4Line) []float64) {
 	fmt.Print(t.String())
 }
 
-func fig5(e *zcache.Experiment, pol sim.Policy) {
+func fig5(ctx context.Context, e *zcache.Experiment, pol sim.Policy) {
 	fmt.Printf("Fig. 5 (%v, %s preset): IPC and BIPS/W vs the serial SA-4+H3 baseline.\n\n", pol, e.Preset.Name)
-	cells, err := e.Fig5(nil, pol)
+	cells, err := e.Fig5(ctx, nil, pol)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -189,9 +204,9 @@ func fig5(e *zcache.Experiment, pol sim.Policy) {
 	fmt.Print(t.String())
 }
 
-func bandwidth(e *zcache.Experiment) {
+func bandwidth(ctx context.Context, e *zcache.Experiment) {
 	fmt.Printf("§VI-D (Z4/52, bucketed LRU, %s preset): per-bank array load.\n\n", e.Preset.Name)
-	pts, err := e.Bandwidth(nil)
+	pts, err := e.Bandwidth(ctx, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -227,9 +242,9 @@ func bandwidth(e *zcache.Experiment) {
 	}
 }
 
-func headline(e *zcache.Experiment) {
+func headline(ctx context.Context, e *zcache.Experiment) {
 	fmt.Printf("Headline claims (§I, §VIII) under bucketed LRU, %s preset:\n\n", e.Preset.Name)
-	cells, err := e.Fig5(nil, sim.PolicyBucketedLRU)
+	cells, err := e.Fig5(ctx, nil, sim.PolicyBucketedLRU)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,313 @@
+// Command runlab drives the paper's evaluation matrix through the
+// content-addressed result store, making figure-suite runs incremental
+// and resumable:
+//
+//	runlab run [-preset quick] [-suite all] [-policy lru] ...  # populate the store
+//	runlab status                                              # store + run history
+//	runlab gc                                                  # drop stale/corrupt records
+//
+// `run` checkpoints completed cells as it goes; Ctrl-C (or a crash)
+// loses at most one flush interval of work, and re-invoking the same
+// command resumes from the cells already on disk. A fully warm rerun
+// performs zero simulations.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"zcache"
+	"zcache/internal/runlab"
+	"zcache/internal/sim"
+	"zcache/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("runlab: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "gc":
+		err = cmdGC(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: runlab <verb> [flags]
+
+verbs:
+  run     execute experiment suites through the resumable runner
+  status  show store contents and run history
+  gc      compact the store, dropping stale-schema and corrupt records
+
+run flags:
+  -store DIR      result store (default %s)
+  -preset NAME    test | quick | full (default quick)
+  -suite LIST     comma-separated: fig4, fig5, bw, policies, or all (default all)
+  -policy NAME    lru | lru-full | opt | random | lfu | srrip | drrip (default lru)
+  -workloads LIST comma-separated workload subset (default: all 72)
+  -workers N      concurrent cells (default GOMAXPROCS)
+  -flush-every N  checkpoint interval in cells (default 16)
+`, zcache.DefaultStoreDir)
+}
+
+// parsePolicy mirrors cmd/figures' policy names.
+func parsePolicy(name string) (sim.Policy, error) {
+	switch name {
+	case "lru":
+		return sim.PolicyBucketedLRU, nil
+	case "lru-full":
+		return sim.PolicyLRU, nil
+	case "opt":
+		return sim.PolicyOPT, nil
+	case "random":
+		return sim.PolicyRandom, nil
+	case "lfu":
+		return sim.PolicyLFU, nil
+	case "srrip":
+		return sim.PolicySRRIP, nil
+	case "drrip":
+		return sim.PolicyDRRIP, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func parsePreset(name string) (zcache.Preset, error) {
+	switch name {
+	case "test":
+		return zcache.TestPreset(), nil
+	case "quick":
+		return zcache.QuickPreset(), nil
+	case "full":
+		return zcache.FullPreset(), nil
+	default:
+		return zcache.Preset{}, fmt.Errorf("unknown preset %q", name)
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	store := fs.String("store", zcache.DefaultStoreDir, "result store directory")
+	presetFlag := fs.String("preset", "quick", "test | quick | full")
+	suite := fs.String("suite", "all", "comma-separated: fig4, fig5, bw, policies, or all")
+	policyFlag := fs.String("policy", "lru", "replacement policy for fig4/fig5")
+	workloadsFlag := fs.String("workloads", "", "comma-separated workload subset")
+	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+	flushEvery := fs.Int("flush-every", 0, "checkpoint interval in cells (0 = default)")
+	fs.Parse(args)
+
+	preset, err := parsePreset(*presetFlag)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(*policyFlag)
+	if err != nil {
+		return err
+	}
+	var subset []string
+	if *workloadsFlag != "" {
+		subset = strings.Split(*workloadsFlag, ",")
+	}
+	suites := strings.Split(*suite, ",")
+	if *suite == "all" {
+		suites = []string{"fig4", "fig5", "bw", "policies"}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	e := zcache.NewExperiment(preset)
+	st, err := e.AttachStore(*store)
+	if err != nil {
+		return err
+	}
+	e.Lab.Workers = *workers
+	e.Lab.FlushEvery = *flushEvery
+	e.Lab.OnProgress = progressPrinter()
+
+	before, err := st.Stats()
+	if err != nil {
+		return err
+	}
+	log.Printf("store %s: %d cells on disk", *store, before.Cells)
+
+	start := time.Now()
+	for _, name := range suites {
+		e.Lab.Label = name + "/" + *policyFlag
+		switch strings.TrimSpace(name) {
+		case "fig4":
+			if _, err = e.Fig4(ctx, subset, pol); err == nil {
+				log.Printf("fig4 (%s): done", *policyFlag)
+			}
+		case "fig5":
+			if _, err = e.Fig5(ctx, subset, pol); err == nil {
+				log.Printf("fig5 (%s): done", *policyFlag)
+			}
+		case "bw":
+			if _, err = e.Bandwidth(ctx, subset); err == nil {
+				log.Printf("bw: done")
+			}
+		case "policies":
+			policies := []sim.Policy{sim.PolicyLRU, sim.PolicySRRIP, sim.PolicyDRRIP, sim.PolicyLFU, sim.PolicyRandom}
+			if _, err = e.PolicyStudy(ctx, subset, policies); err == nil {
+				log.Printf("policies: done")
+			}
+		default:
+			return fmt.Errorf("unknown suite %q", name)
+		}
+		if err != nil {
+			clearProgressLine()
+			if ctx.Err() != nil {
+				log.Printf("interrupted; completed cells are checkpointed — rerun the same command to resume")
+			}
+			return err
+		}
+	}
+	clearProgressLine()
+	after, err := st.Stats()
+	if err != nil {
+		return err
+	}
+	p := e.Lab.Last()
+	log.Printf("suite complete in %s: %d cells (last matrix: %d cached, %d computed); store now %d cells / %d shards / %.1f MB",
+		time.Since(start).Round(time.Millisecond), after.Cells, p.Cached, p.Computed,
+		after.Cells, after.Shards, float64(after.Bytes)/1e6)
+	return nil
+}
+
+// progressPrinter writes a throttled single-line progress meter to
+// stderr: cells done/cached/failed, rate, and ETA.
+func progressPrinter() func(runlab.Progress) {
+	var lastPrint time.Time
+	return func(p runlab.Progress) {
+		if time.Since(lastPrint) < 200*time.Millisecond && p.Done+p.Failed < p.Total {
+			return
+		}
+		lastPrint = time.Now()
+		eta := "?"
+		if p.ETA > 0 {
+			eta = p.ETA.Round(time.Second).String()
+		}
+		fmt.Fprintf(os.Stderr, "\r\033[Kcells %d/%d (cached %d, computed %d, failed %d)  %.1f cells/s  ETA %s",
+			p.Done, p.Total, p.Cached, p.Computed, p.Failed, p.CellsPerSec, eta)
+	}
+}
+
+func clearProgressLine() { fmt.Fprint(os.Stderr, "\r\033[K") }
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	store := fs.String("store", zcache.DefaultStoreDir, "result store directory")
+	manifestTail := fs.Int("runs", 10, "manifest entries to show")
+	fs.Parse(args)
+
+	st, err := runlab.Open(*store)
+	if err != nil {
+		return err
+	}
+	s, err := st.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("store %s (schema v%d)\n\n", *store, runlab.SchemaVersion)
+	t := stats.NewTable("cells", "shards", "bytes", "corrupt lines")
+	t.AddRow(s.Cells, s.Shards, s.Bytes, s.Corrupt)
+	fmt.Print(t.String())
+	if len(s.Presets) > 0 {
+		names := make([]string, 0, len(s.Presets))
+		for n := range s.Presets {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("\nby preset:")
+		pt := stats.NewTable("preset", "cells")
+		for _, n := range names {
+			pt.AddRow(n, s.Presets[n])
+		}
+		fmt.Print(pt.String())
+	}
+	stale := 0
+	for v, n := range s.Schemas {
+		if v != runlab.SchemaVersion {
+			stale += n
+		}
+	}
+	if stale > 0 || s.Corrupt > 0 {
+		fmt.Printf("\n%d stale-schema and %d corrupt records; `runlab gc` reclaims them\n", stale, s.Corrupt)
+	}
+	entries, err := st.Manifest()
+	if err != nil {
+		return err
+	}
+	if len(entries) > 0 {
+		if len(entries) > *manifestTail {
+			entries = entries[len(entries)-*manifestTail:]
+		}
+		fmt.Printf("\nlast %d runs:\n", len(entries))
+		mt := stats.NewTable("started", "label", "preset", "git", "total", "cached", "computed", "failed", "wall")
+		for _, e := range entries {
+			mt.AddRow(e.StartedAt.Format("2006-01-02 15:04:05"), e.Label, e.Preset, e.GitRev,
+				e.Total, e.Cached, e.Computed, e.Failed,
+				(time.Duration(e.WallSeconds * float64(time.Second))).Round(time.Millisecond).String())
+		}
+		fmt.Print(mt.String())
+	}
+	return nil
+}
+
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	store := fs.String("store", zcache.DefaultStoreDir, "result store directory")
+	preset := fs.String("drop-preset", "", "also drop all cells of this preset name")
+	fs.Parse(args)
+
+	st, err := runlab.Open(*store)
+	if err != nil {
+		return err
+	}
+	before, err := st.Stats()
+	if err != nil {
+		return err
+	}
+	kept, dropped, err := st.GC(func(k runlab.CellKey) bool {
+		if k.Schema != runlab.SchemaVersion {
+			return false
+		}
+		return *preset == "" || k.Preset.Name != *preset
+	})
+	if err != nil {
+		return err
+	}
+	after, err := st.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gc: kept %d, dropped %d stale, removed %d corrupt lines; %.1f MB -> %.1f MB\n",
+		kept, dropped, before.Corrupt, float64(before.Bytes)/1e6, float64(after.Bytes)/1e6)
+	return nil
+}

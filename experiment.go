@@ -1,6 +1,8 @@
 package zcache
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -8,6 +10,7 @@ import (
 
 	"zcache/internal/assoc"
 	"zcache/internal/energy"
+	"zcache/internal/runlab"
 	"zcache/internal/sim"
 	"zcache/internal/stats"
 	"zcache/internal/workloads"
@@ -95,6 +98,12 @@ func (r RunResult) MPKI() float64 { return r.Eval.L2MPKI }
 type Experiment struct {
 	Preset Preset
 	Model  *energy.SystemModel
+	// Lab, when non-nil, routes RunMatrix through the content-addressed
+	// result store: previously computed cells are served from disk and
+	// new cells are checkpointed as they finish, so an interrupted suite
+	// resumes and a warm rerun performs zero simulations. Attach one
+	// with AttachStore, or set it directly to control runner knobs.
+	Lab *runlab.Runner
 
 	mu       sync.Mutex
 	captures map[string]*captureSlot
@@ -192,27 +201,51 @@ type MatrixCell struct {
 }
 
 // RunMatrix executes cells across a worker pool and returns results in cell
-// order. The first error aborts outstanding work.
-func (e *Experiment) RunMatrix(cells []MatrixCell) ([]RunResult, error) {
+// order. The first error cancels the context and aborts outstanding cells
+// (cells already running complete; queued cells never start). When a runlab
+// runner is attached (AttachStore / Lab), cells are served from the
+// content-addressed store where possible and computed cells are
+// checkpointed, making the whole matrix resumable.
+func (e *Experiment) RunMatrix(ctx context.Context, cells []MatrixCell) ([]RunResult, error) {
+	if e.Lab != nil {
+		return e.runMatrixLab(ctx, cells)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	results := make([]RunResult, len(cells))
 	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	idx := make(chan int, len(cells))
 	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c := cells[i]
-			results[i], errs[i] = e.Run(c.Workload, c.Design, c.Policy, c.Lookup)
-		}(i)
+			for i := range idx {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					continue
+				}
+				c := cells[i]
+				results[i], errs[i] = e.Run(c.Workload, c.Design, c.Policy, c.Lookup)
+				if errs[i] != nil {
+					cancel()
+				}
+			}
+		}()
 	}
 	wg.Wait()
+	// Report the first real failure, not a cancellation casualty.
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && !errors.Is(err, context.Canceled) {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }
@@ -248,7 +281,7 @@ type Fig4Line struct {
 // Fig4 runs the Fig. 4 experiment: every workload on the baseline and each
 // comparison design under the given policy (the paper shows OPT in 4a and
 // LRU in 4b), returning one sorted line per design.
-func (e *Experiment) Fig4(names []string, pol sim.Policy) ([]Fig4Line, error) {
+func (e *Experiment) Fig4(ctx context.Context, names []string, pol sim.Policy) ([]Fig4Line, error) {
 	ws, err := SuiteWorkloads(names)
 	if err != nil {
 		return nil, err
@@ -260,7 +293,7 @@ func (e *Experiment) Fig4(names []string, pol sim.Policy) ([]Fig4Line, error) {
 			cells = append(cells, MatrixCell{Workload: w, Design: d, Policy: pol, Lookup: energy.Serial})
 		}
 	}
-	res, err := e.RunMatrix(cells)
+	res, err := e.RunMatrix(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -321,7 +354,7 @@ var Fig5Representatives = []string{"ammp", "gamess", "cpu2006rand00", "canneal",
 // workloads, every design × {serial, parallel}, reporting the five
 // representative workloads plus geomeans over the full suite and over the
 // ten most L2 miss-intensive workloads.
-func (e *Experiment) Fig5(names []string, pol sim.Policy) ([]Fig5Cell, error) {
+func (e *Experiment) Fig5(ctx context.Context, names []string, pol sim.Policy) ([]Fig5Cell, error) {
 	ws, err := SuiteWorkloads(names)
 	if err != nil {
 		return nil, err
@@ -335,7 +368,7 @@ func (e *Experiment) Fig5(names []string, pol sim.Policy) ([]Fig5Cell, error) {
 			}
 		}
 	}
-	res, err := e.RunMatrix(cells)
+	res, err := e.RunMatrix(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -451,7 +484,7 @@ type PolicyStudyLine struct {
 
 // PolicyStudy runs every workload on the Z4/52 design under each policy and
 // returns sorted improvement lines vs the bucketed-LRU reference.
-func (e *Experiment) PolicyStudy(names []string, policies []sim.Policy) ([]PolicyStudyLine, error) {
+func (e *Experiment) PolicyStudy(ctx context.Context, names []string, policies []sim.Policy) ([]PolicyStudyLine, error) {
 	ws, err := SuiteWorkloads(names)
 	if err != nil {
 		return nil, err
@@ -465,7 +498,7 @@ func (e *Experiment) PolicyStudy(names []string, policies []sim.Policy) ([]Polic
 			cells = append(cells, MatrixCell{Workload: w, Design: d, Policy: p, Lookup: energy.Serial})
 		}
 	}
-	res, err := e.RunMatrix(cells)
+	res, err := e.RunMatrix(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -507,7 +540,7 @@ type BandwidthPoint struct {
 
 // Bandwidth runs the §VI-D array-bandwidth study: every workload on the
 // Z4/52 design under bucketed LRU, reporting per-bank loads.
-func (e *Experiment) Bandwidth(names []string) ([]BandwidthPoint, error) {
+func (e *Experiment) Bandwidth(ctx context.Context, names []string) ([]BandwidthPoint, error) {
 	ws, err := SuiteWorkloads(names)
 	if err != nil {
 		return nil, err
@@ -517,7 +550,7 @@ func (e *Experiment) Bandwidth(names []string) ([]BandwidthPoint, error) {
 	for _, w := range ws {
 		cells = append(cells, MatrixCell{Workload: w, Design: d, Policy: sim.PolicyBucketedLRU, Lookup: energy.Serial})
 	}
-	res, err := e.RunMatrix(cells)
+	res, err := e.RunMatrix(ctx, cells)
 	if err != nil {
 		return nil, err
 	}

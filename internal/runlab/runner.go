@@ -1,0 +1,225 @@
+package runlab
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Progress is a snapshot of a matrix run. Done == Cached + Computed.
+type Progress struct {
+	Total    int
+	Done     int
+	Cached   int
+	Computed int
+	Failed   int
+	Retried  int
+	Elapsed  time.Duration
+	// CellsPerSec is the overall completion rate; ETA extrapolates it
+	// over the remaining cells (0 when the rate is still unknown).
+	CellsPerSec float64
+	ETA         time.Duration
+}
+
+// ComputeFunc produces the result for one cell. i indexes the keys slice
+// passed to Run, so callers can recover their own richer cell value. The
+// returned value must be JSON-marshalable. The context is cancelled once
+// any cell fails persistently; long computations may honour it early.
+type ComputeFunc func(ctx context.Context, i int, key CellKey) (any, error)
+
+// Runner executes cell matrices with cache lookups, bounded workers,
+// retry-once-on-error, cancellation on first persistent failure, and
+// periodic checkpoint flushes. The zero value runs without a store.
+type Runner struct {
+	// Store, when non-nil, serves previously computed cells and persists
+	// new ones.
+	Store *Store
+	// Workers bounds concurrent compute calls (<=0: GOMAXPROCS).
+	Workers int
+	// FlushEvery checkpoints the store after this many computed cells
+	// (<=0: 16). A final flush always happens, even on error or
+	// cancellation, so completed cells survive an interrupted run.
+	FlushEvery int
+	// Label tags this run's manifest entry ("fig4/lru", ...).
+	Label string
+	// OnProgress, when non-nil, is called with a snapshot after every
+	// completed cell (from worker goroutines, outside runner locks).
+	OnProgress func(Progress)
+
+	mu   sync.Mutex
+	last Progress
+}
+
+// Last returns the most recent progress snapshot (of the current or the
+// just-finished run).
+func (r *Runner) Last() Progress {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last
+}
+
+// Run executes every cell, serving from the store where possible, and
+// returns raw JSON results in key order. On error the returned slice
+// holds the cells that did finish (nil elsewhere); everything computed
+// has already been checkpointed, so re-running the same keys resumes.
+func (r *Runner) Run(ctx context.Context, keys []CellKey, compute ComputeFunc) ([]json.RawMessage, Progress, error) {
+	start := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	flushEvery := r.FlushEvery
+	if flushEvery <= 0 {
+		flushEvery = 16
+	}
+
+	out := make([]json.RawMessage, len(keys))
+	errs := make([]error, len(keys))
+
+	var mu sync.Mutex
+	prog := Progress{Total: len(keys)}
+	sinceFlush := 0
+	// note applies a progress delta under the lock, then reports the
+	// snapshot outside it (OnProgress may cancel the run's context).
+	note := func(update func(*Progress)) {
+		mu.Lock()
+		update(&prog)
+		prog.Done = prog.Cached + prog.Computed
+		prog.Elapsed = time.Since(start)
+		if secs := prog.Elapsed.Seconds(); secs > 0 && prog.Done > 0 {
+			prog.CellsPerSec = float64(prog.Done) / secs
+			remaining := prog.Total - prog.Done - prog.Failed
+			prog.ETA = time.Duration(float64(remaining) / prog.CellsPerSec * float64(time.Second))
+		}
+		snap := prog
+		mu.Unlock()
+		r.mu.Lock()
+		r.last = snap
+		r.mu.Unlock()
+		if r.OnProgress != nil {
+			r.OnProgress(snap)
+		}
+	}
+
+	idx := make(chan int, len(keys))
+	for i := range keys {
+		idx <- i
+	}
+	close(idx)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					continue
+				}
+				raw, err := r.runCell(ctx, i, keys[i], compute, note)
+				if err != nil {
+					errs[i] = err
+					if ctx.Err() == nil {
+						note(func(p *Progress) { p.Failed++ })
+					}
+					cancel() // first persistent error aborts outstanding cells
+					continue
+				}
+				out[i] = raw
+				// Checkpoint periodically so a crash or kill loses at
+				// most flushEvery cells of work.
+				if r.Store != nil {
+					mu.Lock()
+					sinceFlush++
+					flush := sinceFlush >= flushEvery
+					if flush {
+						sinceFlush = 0
+					}
+					mu.Unlock()
+					if flush {
+						if err := r.Store.Flush(); err != nil {
+							errs[i] = err
+							cancel()
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var ferr error
+	if r.Store != nil {
+		ferr = r.Store.Flush()
+	}
+
+	final := r.Last()
+	if r.Store != nil && len(keys) > 0 {
+		entry := ManifestEntry{
+			GitRev:      GitRev(),
+			Label:       r.Label,
+			Preset:      keys[0].Preset.Name,
+			StartedAt:   start.UTC(),
+			WallSeconds: time.Since(start).Seconds(),
+			Total:       final.Total,
+			Cached:      final.Cached,
+			Computed:    final.Computed,
+			Failed:      final.Failed,
+		}
+		if err := r.Store.AppendManifest(entry); err != nil && ferr == nil {
+			ferr = err
+		}
+	}
+
+	// Prefer the first real cell failure; fall back to cancellation,
+	// then to flush errors.
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return out, final, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, final, err
+	}
+	return out, final, ferr
+}
+
+// runCell serves one cell from the store or computes (with one retry) and
+// persists it.
+func (r *Runner) runCell(ctx context.Context, i int, key CellKey, compute ComputeFunc, note func(func(*Progress))) (json.RawMessage, error) {
+	fp := key.Fingerprint()
+	if r.Store != nil {
+		if raw, ok := r.Store.Get(fp); ok {
+			note(func(p *Progress) { p.Cached++ })
+			return raw, nil
+		}
+	}
+	v, err := compute(ctx, i, key)
+	if err != nil && ctx.Err() == nil {
+		// Retry once: matrix runs are long, and one flaky cell (an I/O
+		// hiccup, an OOM-killed helper) should not discard hours of
+		// completed work.
+		note(func(p *Progress) { p.Retried++ })
+		v, err = compute(ctx, i, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runlab: cell %s (%s/%s): %w", fp, key.Workload, key.Design, err)
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("runlab: encode cell %s: %w", fp, err)
+	}
+	if r.Store != nil {
+		r.Store.Put(key, raw)
+	}
+	note(func(p *Progress) { p.Computed++ })
+	return raw, nil
+}

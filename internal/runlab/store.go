@@ -1,0 +1,310 @@
+package runlab
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// record is one stored cell: the fingerprint (redundant with Key, kept so
+// loads can verify integrity), the full key for introspection and GC, and
+// the opaque JSON result.
+type record struct {
+	Fp      Fingerprint     `json:"fp"`
+	Key     CellKey         `json:"key"`
+	Result  json.RawMessage `json:"result"`
+	SavedAt time.Time       `json:"saved_at"`
+}
+
+// Store is an on-disk content-addressed result store: fingerprint-sharded
+// JSONL files under a directory, fully loaded into memory on Open.
+// Writes are buffered by Put and persisted by Flush, which appends whole
+// records in a single write per shard (torn tails from a crash are
+// skipped and reported by the next Open rather than poisoning the store).
+// All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	mem     map[Fingerprint]record
+	dirty   []record
+	corrupt int // malformed or fingerprint-mismatched lines skipped at load
+}
+
+// Open loads (creating if needed) the store at dir. Corrupt lines —
+// truncated JSON from a killed run, or records whose stored fingerprint
+// does not match their key — are skipped and counted, never fatal.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runlab: create store dir: %w", err)
+	}
+	s := &Store{dir: dir, mem: map[Fingerprint]record{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("runlab: read store dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !isShardName(e.Name()) {
+			continue
+		}
+		if err := s.loadShard(filepath.Join(dir, e.Name())); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// isShardName matches the two-hex-digit shard files, leaving
+// MANIFEST.jsonl and anything else alone.
+func isShardName(name string) bool {
+	if !strings.HasSuffix(name, ".jsonl") || len(name) != len("ab.jsonl") {
+		return false
+	}
+	return Fingerprint(name[:2] + strings.Repeat("0", 30)).Valid()
+}
+
+// loadShard reads one shard file, tolerating bad lines.
+func (s *Store) loadShard(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("runlab: open shard: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Fp != rec.Key.Fingerprint() || len(rec.Result) == 0 {
+			s.corrupt++
+			continue
+		}
+		s.mem[rec.Fp] = rec // last write wins
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("runlab: scan %s: %w", path, err)
+	}
+	return nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Get returns the stored result for fp, if present (including records
+// buffered by Put but not yet flushed).
+func (s *Store) Get(fp Fingerprint) (json.RawMessage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.mem[fp]
+	return rec.Result, ok
+}
+
+// Key returns the cell key stored under fp, if present.
+func (s *Store) Key(fp Fingerprint) (CellKey, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.mem[fp]
+	return rec.Key, ok
+}
+
+// Put buffers one result for the key. The record is visible to Get
+// immediately and reaches disk at the next Flush.
+func (s *Store) Put(key CellKey, result json.RawMessage) {
+	rec := record{Fp: key.Fingerprint(), Key: key, Result: result, SavedAt: time.Now().UTC()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem[rec.Fp] = rec
+	s.dirty = append(s.dirty, rec)
+}
+
+// Flush appends all buffered records to their shards. Each shard receives
+// its records as one write of complete lines, so a concurrent reader (or
+// a crash mid-flush) sees either whole records or a torn tail that the
+// next Open skips. Buffered records are kept on error so a later Flush
+// retries them (replays are idempotent: last write wins at load).
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.dirty) == 0 {
+		return nil
+	}
+	byShard := map[string][]record{}
+	for _, rec := range s.dirty {
+		byShard[rec.Fp.Shard()] = append(byShard[rec.Fp.Shard()], rec)
+	}
+	for shard, recs := range byShard {
+		var buf bytes.Buffer
+		for _, rec := range recs {
+			line, err := json.Marshal(rec)
+			if err != nil {
+				return fmt.Errorf("runlab: encode record: %w", err)
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		if err := appendFile(filepath.Join(s.dir, shard), buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	s.dirty = s.dirty[:0]
+	return nil
+}
+
+// appendFile appends data to path in a single write.
+func appendFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("runlab: open %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("runlab: append %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("runlab: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// Len returns the number of distinct cells in the store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// Corrupt returns the number of bad lines skipped at load time.
+func (s *Store) Corrupt() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corrupt
+}
+
+// StoreStats summarizes the store for status reporting.
+type StoreStats struct {
+	Cells   int
+	Shards  int
+	Bytes   int64
+	Corrupt int
+	// Presets counts cells per preset name; Schemas per schema version.
+	Presets map[string]int
+	Schemas map[int]int
+}
+
+// Stats walks the store directory and the in-memory index.
+func (s *Store) Stats() (StoreStats, error) {
+	s.mu.Lock()
+	st := StoreStats{Cells: len(s.mem), Corrupt: s.corrupt,
+		Presets: map[string]int{}, Schemas: map[int]int{}}
+	for _, rec := range s.mem {
+		st.Presets[rec.Key.Preset.Name]++
+		st.Schemas[rec.Key.Schema]++
+	}
+	s.mu.Unlock()
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !isShardName(d.Name()) {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		st.Shards++
+		st.Bytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return st, fmt.Errorf("runlab: walk store: %w", err)
+	}
+	return st, nil
+}
+
+// GC compacts the store: records for which keep returns false are
+// dropped, duplicates collapse to one line, and corrupt lines disappear.
+// Each shard is rewritten to a temp file and atomically renamed into
+// place (or removed when it empties). Unflushed Puts are flushed into the
+// compaction. Returns the records kept and dropped.
+func (s *Store) GC(keep func(CellKey) bool) (kept, dropped int, err error) {
+	if err := s.Flush(); err != nil {
+		return 0, 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byShard := map[string][]record{}
+	for fp, rec := range s.mem {
+		if keep == nil || keep(rec.Key) {
+			byShard[fp.Shard()] = append(byShard[fp.Shard()], rec)
+			kept++
+		} else {
+			delete(s.mem, fp)
+			dropped++
+		}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return kept, dropped, fmt.Errorf("runlab: read store dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !isShardName(e.Name()) {
+			continue
+		}
+		shard := e.Name()
+		recs := byShard[shard]
+		path := filepath.Join(s.dir, shard)
+		if len(recs) == 0 {
+			if err := os.Remove(path); err != nil {
+				return kept, dropped, fmt.Errorf("runlab: remove empty shard: %w", err)
+			}
+			continue
+		}
+		// Deterministic shard contents: sort by fingerprint.
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Fp < recs[j].Fp })
+		var buf bytes.Buffer
+		for _, rec := range recs {
+			line, err := json.Marshal(rec)
+			if err != nil {
+				return kept, dropped, fmt.Errorf("runlab: encode record: %w", err)
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+			return kept, dropped, fmt.Errorf("runlab: write %s: %w", tmp, err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return kept, dropped, fmt.Errorf("runlab: rename %s: %w", tmp, err)
+		}
+		delete(byShard, shard)
+	}
+	// Shards with kept records but no existing file (possible after a
+	// previous partial GC): write them too.
+	for shard, recs := range byShard {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Fp < recs[j].Fp })
+		var buf bytes.Buffer
+		for _, rec := range recs {
+			line, err := json.Marshal(rec)
+			if err != nil {
+				return kept, dropped, fmt.Errorf("runlab: encode record: %w", err)
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		if err := os.WriteFile(filepath.Join(s.dir, shard), buf.Bytes(), 0o644); err != nil {
+			return kept, dropped, fmt.Errorf("runlab: write shard: %w", err)
+		}
+	}
+	s.corrupt = 0
+	return kept, dropped, nil
+}

@@ -1,0 +1,74 @@
+package zcache
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"zcache/internal/runlab"
+)
+
+// DefaultStoreDir is where cmd/runlab and cmd/figures keep cached cells.
+const DefaultStoreDir = "results/store"
+
+// AttachStore opens (creating if needed) the runlab result store at dir
+// and routes this experiment's matrix runs through it. Returns the store
+// for status inspection; tune worker count, flush cadence, or progress
+// reporting via the Lab field afterwards.
+func (e *Experiment) AttachStore(dir string) (*runlab.Store, error) {
+	st, err := runlab.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	e.Lab = &runlab.Runner{Store: st}
+	return st, nil
+}
+
+// cellKey builds the content address of one matrix cell. Every preset
+// field that changes simulated behaviour is folded in, so two presets
+// that differ only in name still hash apart and a resized machine can
+// never serve stale cells.
+func (e *Experiment) cellKey(c MatrixCell) runlab.CellKey {
+	return runlab.CellKey{
+		Schema: runlab.SchemaVersion,
+		Preset: runlab.PresetKey{
+			Name:         e.Preset.Name,
+			Cores:        e.Preset.Cores,
+			L2Bytes:      e.Preset.L2Bytes,
+			L2Banks:      e.Preset.L2Banks,
+			Instructions: e.Preset.InstructionsPerCore,
+			Warmup:       e.Preset.WarmupInstructionsPerCore,
+			Seed:         e.Preset.Seed,
+		},
+		Workload: c.Workload.Name,
+		Design:   c.Design.Label,
+		DesignID: int(c.Design.Design),
+		Ways:     c.Design.Ways,
+		Policy:   int(c.Policy),
+		Lookup:   int(c.Lookup),
+	}
+}
+
+// runMatrixLab executes the matrix through the attached runlab runner:
+// cache lookup before compute, bounded workers, retry-once, cancellation
+// on first persistent error, and periodic checkpoint flushes.
+func (e *Experiment) runMatrixLab(ctx context.Context, cells []MatrixCell) ([]RunResult, error) {
+	keys := make([]runlab.CellKey, len(cells))
+	for i, c := range cells {
+		keys[i] = e.cellKey(c)
+	}
+	raws, _, err := e.Lab.Run(ctx, keys, func(_ context.Context, i int, _ runlab.CellKey) (any, error) {
+		c := cells[i]
+		return e.Run(c.Workload, c.Design, c.Policy, c.Lookup)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RunResult, len(cells))
+	for i, raw := range raws {
+		if err := json.Unmarshal(raw, &out[i]); err != nil {
+			return nil, fmt.Errorf("zcache: decode cached cell %s: %w", keys[i].Fingerprint(), err)
+		}
+	}
+	return out, nil
+}

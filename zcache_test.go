@@ -1,6 +1,7 @@
 package zcache
 
 import (
+	"context"
 	"testing"
 
 	"zcache/internal/energy"
@@ -170,7 +171,7 @@ func TestOPTThroughFacade(t *testing.T) {
 func TestExperimentRunAndFig4(t *testing.T) {
 	e := NewExperiment(TestPreset())
 	names := []string{"canneal", "gamess", "mcf"}
-	lines, err := e.Fig4(names, sim.PolicyLRU)
+	lines, err := e.Fig4(context.Background(), names, sim.PolicyLRU)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestExperimentRunAndFig4(t *testing.T) {
 func TestExperimentFig5Aggregates(t *testing.T) {
 	e := NewExperiment(TestPreset())
 	names := []string{"canneal", "gamess", "cactusADM", "ammp", "cpu2006rand00"}
-	cells, err := e.Fig5(names, sim.PolicyBucketedLRU)
+	cells, err := e.Fig5(context.Background(), names, sim.PolicyBucketedLRU)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestExperimentFig5Aggregates(t *testing.T) {
 
 func TestExperimentBandwidth(t *testing.T) {
 	e := NewExperiment(TestPreset())
-	pts, err := e.Bandwidth([]string{"mcf", "gamess"})
+	pts, err := e.Bandwidth(context.Background(), []string{"mcf", "gamess"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -567,7 +568,7 @@ func TestWalkTree(t *testing.T) {
 
 func TestPolicyStudy(t *testing.T) {
 	e := NewExperiment(TestPreset())
-	lines, err := e.PolicyStudy([]string{"canneal", "gcc", "ammp"},
+	lines, err := e.PolicyStudy(context.Background(), []string{"canneal", "gcc", "ammp"},
 		[]sim.Policy{sim.PolicySRRIP, sim.PolicyRandom})
 	if err != nil {
 		t.Fatal(err)
