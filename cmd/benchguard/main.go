@@ -1,0 +1,154 @@
+// Command benchguard compares two `go test -bench` output files and fails
+// when the current run regresses: ns/op beyond a relative threshold, or any
+// allocs/op increase (an allocation creeping back into a kernel proven
+// allocation-free is a regression at any magnitude). It is the enforcement
+// half of the CI benchmark smoke job; benchstat remains the display half.
+//
+//	benchguard -baseline testdata/bench_baseline.txt -current /tmp/bench.txt
+//
+// Files may contain repeated runs of the same benchmark (-count N); the
+// minimum ns/op per benchmark is compared, which discards scheduler noise
+// without averaging away real slowdowns.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's best-of-runs measurement.
+type result struct {
+	name       string
+	nsPerOp    float64
+	allocsOp   float64
+	haveNs     bool
+	haveAllocs bool
+}
+
+// parseFile reads a `go test -bench` output stream, keeping the minimum
+// ns/op and the maximum allocs/op seen per benchmark name (CPU suffix
+// stripped), plus the host cpu line when present.
+func parseFile(path string) (map[string]*result, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	out := make(map[string]*result)
+	cpu := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "cpu:") {
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix so runs from different
+			// machines still match by name.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := out[name]
+		if r == nil {
+			r = &result{name: name}
+			out[name] = r
+		}
+		// After the iteration count, the line is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				if !r.haveNs || v < r.nsPerOp {
+					r.nsPerOp = v
+				}
+				r.haveNs = true
+			case "allocs/op":
+				if !r.haveAllocs || v > r.allocsOp {
+					r.allocsOp = v
+				}
+				r.haveAllocs = true
+			}
+		}
+	}
+	return out, cpu, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline `go test -bench` output")
+	currentPath := flag.String("current", "", "current `go test -bench` output")
+	threshold := flag.Float64("threshold", 0.20, "allowed relative ns/op regression")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, baseCPU, err := parseFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	cur, curCPU, err := parseFile(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 || len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark lines found")
+		os.Exit(2)
+	}
+	if baseCPU != "" && curCPU != "" && baseCPU != curCPU {
+		fmt.Printf("note: baseline cpu %q differs from current cpu %q; the ns/op gate is cross-machine\n", baseCPU, curCPU)
+	}
+
+	failed := false
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b := base[n]
+		c, ok := cur[n]
+		if !ok {
+			fmt.Printf("FAIL %s: present in baseline, missing from current run\n", n)
+			failed = true
+			continue
+		}
+		if b.haveNs && c.haveNs {
+			ratio := c.nsPerOp / b.nsPerOp
+			verdict := "ok  "
+			if ratio > 1.0+*threshold {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %s: %.1f ns/op -> %.1f ns/op (%+.1f%%, limit +%.0f%%)\n",
+				verdict, n, b.nsPerOp, c.nsPerOp, (ratio-1)*100, *threshold*100)
+		}
+		if b.haveAllocs && c.haveAllocs && c.allocsOp > b.allocsOp {
+			fmt.Printf("FAIL %s: allocs/op %.0f -> %.0f (any increase fails)\n", n, b.allocsOp, c.allocsOp)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all benchmarks within limits")
+}

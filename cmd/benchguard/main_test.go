@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseFile(t *testing.T) {
+	content := `goos: linux
+goarch: amd64
+pkg: zcache/internal/cache
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKernelZCacheAccess-8   	  500000	       207.0 ns/op	       0 B/op	       0 allocs/op	         0.5375 missrate
+BenchmarkKernelZCacheAccess-8   	  500000	       214.5 ns/op	       0 B/op	       1 allocs/op	         0.5375 missrate
+BenchmarkKernelSetAssocAccess-8 	  500000	        40.0 ns/op	       0 B/op	       0 allocs/op	         0.5424 missrate
+PASS
+`
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, cpu, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	z := got["BenchmarkKernelZCacheAccess"]
+	if z == nil {
+		t.Fatal("zcache benchmark missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if !z.haveNs || z.nsPerOp != 207.0 {
+		t.Errorf("zcache ns/op = %v (min of repeated runs), want 207", z.nsPerOp)
+	}
+	if !z.haveAllocs || z.allocsOp != 1 {
+		t.Errorf("zcache allocs/op = %v (max of repeated runs), want 1", z.allocsOp)
+	}
+	s := got["BenchmarkKernelSetAssocAccess"]
+	if s == nil || s.nsPerOp != 40.0 || s.allocsOp != 0 {
+		t.Errorf("setassoc = %+v", s)
+	}
+}

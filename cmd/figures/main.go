@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"zcache"
+	"zcache/internal/prof"
 	"zcache/internal/sim"
 	"zcache/internal/stats"
 )
@@ -33,11 +34,23 @@ func main() {
 	full := flag.Bool("full", false, "use the paper-scale machine (slower)")
 	workloadsFlag := flag.String("workloads", "", "comma-separated workload subset (default: all 72)")
 	store := flag.String("store", zcache.DefaultStoreDir, "runlab result store for incremental reruns (\"\" recomputes everything)")
+	var pf prof.Flags
+	pf.Register(flag.CommandLine)
 	flag.Parse()
 	var subset []string
 	if *workloadsFlag != "" {
 		subset = strings.Split(*workloadsFlag, ",")
 	}
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	// Ctrl-C checkpoints completed cells; rerunning the same command
 	// resumes from them.

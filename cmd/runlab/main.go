@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"zcache"
+	"zcache/internal/prof"
 	"zcache/internal/runlab"
 	"zcache/internal/sim"
 	"zcache/internal/stats"
@@ -41,6 +42,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "status":
 		err = cmdStatus(os.Args[2:])
 	case "gc":
@@ -61,6 +64,7 @@ func usage() {
 
 verbs:
   run     execute experiment suites through the resumable runner
+  bench   measure the simulation kernel, writing BENCH_kernel.json
   status  show store contents and run history
   gc      compact the store, dropping stale-schema and corrupt records
 
@@ -72,6 +76,17 @@ run flags:
   -workloads LIST comma-separated workload subset (default: all 72)
   -workers N      concurrent cells (default GOMAXPROCS)
   -flush-every N  checkpoint interval in cells (default 16)
+
+bench flags:
+  -out FILE        report destination (default BENCH_kernel.json; '-' = stdout)
+  -preset NAME     cold-suite preset (default test)
+  -policy NAME     cold-suite policy (default lru)
+  -baseline-ns N   cold-suite wall time of a comparison build, for the speedup field
+
+run and bench both accept the profiling flags:
+  -cpuprofile FILE  write a CPU profile (go tool pprof)
+  -memprofile FILE  write a heap profile on exit
+  -trace FILE       write an execution trace (go tool trace)
 `, zcache.DefaultStoreDir)
 }
 
@@ -119,7 +134,19 @@ func cmdRun(args []string) error {
 	workloadsFlag := fs.String("workloads", "", "comma-separated workload subset")
 	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
 	flushEvery := fs.Int("flush-every", 0, "checkpoint interval in cells (0 = default)")
+	var pf prof.Flags
+	pf.Register(fs)
 	fs.Parse(args)
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	preset, err := parsePreset(*presetFlag)
 	if err != nil {

@@ -146,6 +146,14 @@ func (m *Instrumented) OnMove(from, to repl.BlockID) {
 	}
 }
 
+// OnMoves applies a relocation chain through the instrumented OnMove so
+// tracking follows every hop.
+func (m *Instrumented) OnMoves(moves []repl.Move) {
+	for _, mv := range moves {
+		m.OnMove(mv.From, mv.To)
+	}
+}
+
 // Select forwards victim selection untouched: instrumentation must never
 // change the decisions being measured.
 func (m *Instrumented) Select(cands []repl.BlockID) int { return m.inner.Select(cands) }

@@ -44,10 +44,10 @@ type Candidate struct {
 	Parent int
 }
 
-// Move records a relocation: the block in slot From moved to slot To.
-type Move struct {
-	From, To repl.BlockID
-}
+// Move records a relocation: the block in slot From moved to slot To. It is
+// an alias of repl.Move so batched policy notification (repl.MoveBatcher)
+// consumes install move slices without conversion.
+type Move = repl.Move
 
 // Array is a physical cache organization.
 //
@@ -67,6 +67,10 @@ type Array interface {
 	// Candidates appends the replacement candidates for an incoming line
 	// to buf and returns it. line must not be resident.
 	Candidates(line uint64, buf []Candidate) []Candidate
+	// MaxCandidates bounds how many candidates one Candidates call can
+	// yield (including any hybrid-walk extension), so controllers can
+	// preallocate scratch buffers once at construction.
+	MaxCandidates() int
 	// Install places line by evicting cands[victim] (which must be the
 	// exact slice returned by the immediately preceding Candidates call)
 	// and relocating ancestors as needed. If cands[victim] is invalid
@@ -114,20 +118,27 @@ func (c *Counters) add(other Counters) {
 	c.Relocations += other.Relocations
 }
 
+// tagEntry is one tag slot. Address and valid bit live in a single struct
+// so a way probe touches one cache line instead of two; at the multi-MB
+// array sizes the experiments simulate, the tag probe loop is memory-bound
+// and this halves its line footprint.
+type tagEntry struct {
+	addr  uint64
+	valid bool
+}
+
 // tagStore is the shared ways×rows tag storage used by the indexed arrays.
 type tagStore struct {
-	ways  int
-	rows  uint64
-	addrs []uint64 // way*rows + row
-	valid []bool
+	ways int
+	rows uint64
+	e    []tagEntry // indexed by way*rows + row
 }
 
 func newTagStore(ways int, rows uint64) tagStore {
 	return tagStore{
-		ways:  ways,
-		rows:  rows,
-		addrs: make([]uint64, uint64(ways)*rows),
-		valid: make([]bool, uint64(ways)*rows),
+		ways: ways,
+		rows: rows,
+		e:    make([]tagEntry, uint64(ways)*rows),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"zcache/internal/repl"
+	"zcache/internal/trace"
 )
 
 // Stats tallies controller-level events.
@@ -31,6 +32,23 @@ type Cache struct {
 	dirty    []bool
 	stats    Stats
 
+	// Concrete-typed views of array and policy, populated at construction
+	// when the dynamic type is one of the shipped implementations. The
+	// per-access dispatch helpers check these so the hot loop makes direct
+	// (devirtualized, often inlined) calls; any other implementation falls
+	// back to the interface.
+	saFast   *SetAssoc
+	skFast   *Skew
+	zFast    *ZCache
+	lruFast  *repl.LRU
+	blruFast *repl.BucketedLRU
+	moveB    repl.MoveBatcher
+
+	// noFastPath forces the generic candidate/select/install path even for
+	// flat arrays; equivalence tests use it to check the fast path against
+	// the reference behaviour.
+	noFastPath bool
+
 	// OnEviction, if set, is called with each evicted line's byte address
 	// and dirtiness before the new line is installed. Inclusive
 	// hierarchies use it for back-invalidations and writeback routing.
@@ -56,12 +74,34 @@ func New(array Array, policy repl.Policy, lineBits uint) (*Cache, error) {
 	if lineBits > 12 {
 		return nil, fmt.Errorf("cache: line size 2^%d bytes is implausible", lineBits)
 	}
-	return &Cache{
+	maxCands := array.MaxCandidates()
+	c := &Cache{
 		array:    array,
 		policy:   policy,
 		lineBits: lineBits,
 		dirty:    make([]bool, array.Blocks()),
-	}, nil
+		candBuf:  make([]Candidate, 0, maxCands),
+		validIDs: make([]repl.BlockID, 0, maxCands),
+		validIdx: make([]int, 0, maxCands),
+	}
+	switch a := array.(type) {
+	case *SetAssoc:
+		c.saFast = a
+	case *Skew:
+		c.skFast = a
+	case *ZCache:
+		c.zFast = a
+	}
+	switch p := policy.(type) {
+	case *repl.LRU:
+		c.lruFast = p
+	case *repl.BucketedLRU:
+		c.blruFast = p
+	}
+	if mb, ok := policy.(repl.MoveBatcher); ok {
+		c.moveB = mb
+	}
+	return c, nil
 }
 
 // Array exposes the underlying array.
@@ -82,23 +122,197 @@ func (c *Cache) LineSize() uint64 { return 1 << c.lineBits }
 // Line returns the line address of a byte address.
 func (c *Cache) Line(addr uint64) uint64 { return addr >> c.lineBits }
 
+// lookup probes the array through its concrete type when known.
+func (c *Cache) lookup(line uint64) (repl.BlockID, bool) {
+	switch {
+	case c.saFast != nil:
+		return c.saFast.Lookup(line)
+	case c.skFast != nil:
+		return c.skFast.Lookup(line)
+	case c.zFast != nil:
+		return c.zFast.Lookup(line)
+	default:
+		return c.array.Lookup(line)
+	}
+}
+
+// onAccess notifies the policy of a hit through its concrete type when known.
+func (c *Cache) onAccess(id repl.BlockID, write bool) {
+	switch {
+	case c.lruFast != nil:
+		c.lruFast.OnAccess(id, write)
+	case c.blruFast != nil:
+		c.blruFast.OnAccess(id, write)
+	default:
+		c.policy.OnAccess(id, write)
+	}
+}
+
+// onInsert notifies the policy of an insertion through its concrete type
+// when known.
+func (c *Cache) onInsert(id repl.BlockID, line uint64) {
+	switch {
+	case c.lruFast != nil:
+		c.lruFast.OnInsert(id, line)
+	case c.blruFast != nil:
+		c.blruFast.OnInsert(id, line)
+	default:
+		c.policy.OnInsert(id, line)
+	}
+}
+
+// onEvict notifies the policy of an eviction through its concrete type when
+// known.
+func (c *Cache) onEvict(id repl.BlockID) {
+	switch {
+	case c.lruFast != nil:
+		c.lruFast.OnEvict(id)
+	case c.blruFast != nil:
+		c.blruFast.OnEvict(id)
+	default:
+		c.policy.OnEvict(id)
+	}
+}
+
+// sel asks the policy to rank candidates through its concrete type when
+// known.
+func (c *Cache) sel(ids []repl.BlockID) int {
+	switch {
+	case c.lruFast != nil:
+		return c.lruFast.Select(ids)
+	case c.blruFast != nil:
+		return c.blruFast.Select(ids)
+	default:
+		return c.policy.Select(ids)
+	}
+}
+
+// onMoves migrates policy and dirty state along a relocation chain, batching
+// the policy notification when the policy supports it (one call per install
+// instead of one virtual call per hop).
+func (c *Cache) onMoves(moves []Move) {
+	if len(moves) == 0 {
+		return
+	}
+	if c.moveB != nil {
+		c.moveB.OnMoves(moves)
+	} else {
+		for _, m := range moves {
+			c.policy.OnMove(m.From, m.To)
+		}
+	}
+	for _, m := range moves {
+		c.dirty[m.To] = c.dirty[m.From]
+		c.dirty[m.From] = false
+	}
+}
+
 // Access performs one reference. It returns whether the access hit. On a
 // miss the line is fetched and installed (write-allocate); write hits and
 // write-allocated installs mark the line dirty.
 func (c *Cache) Access(addr uint64, write bool) bool {
 	c.stats.Accesses++
-	line := c.Line(addr)
-	if id, ok := c.array.Lookup(line); ok {
+	line := addr >> c.lineBits
+	if id, ok := c.lookup(line); ok {
 		c.stats.Hits++
-		c.policy.OnAccess(id, write)
+		c.onAccess(id, write)
 		if write {
 			c.dirty[id] = true
 		}
 		return true
 	}
 	c.stats.Misses++
+	if (c.saFast != nil || c.skFast != nil) && !c.noFastPath {
+		c.installFlat(line, write)
+		return false
+	}
 	c.install(line, write)
 	return false
+}
+
+// AccessBatch performs accs in order and returns the number of hits. It is
+// exactly equivalent to calling Access per element; batch drivers use it so
+// the per-access loop stays in one frame.
+func (c *Cache) AccessBatch(accs []trace.Access) int {
+	hits := 0
+	for i := range accs {
+		if c.Access(accs[i].Addr, accs[i].Write) {
+			hits++
+		}
+	}
+	return hits
+}
+
+// installFlat is the miss path for flat arrays (set-associative and skew),
+// whose candidates are exactly the line's W slots, installs never relocate,
+// and cuckoo cycles cannot occur. It scans the slots directly instead of
+// materializing Candidate structs, preferring the first empty slot just like
+// the generic path's first-invalid-candidate scan; when the set is full the
+// policy selects over the W slot IDs in way order, which is precisely the
+// valid-candidate sequence the generic path would build.
+func (c *Cache) installFlat(line uint64, write bool) {
+	ids := c.validIDs[:0]
+	var tags *tagStore
+	if a := c.saFast; a != nil {
+		tags = &a.tags
+		id := repl.BlockID(a.row(line))
+		step := repl.BlockID(tags.rows)
+		for w := 0; w < tags.ways; w++ {
+			e := &tags.e[id]
+			if !e.valid {
+				c.finishFlat(id, 0, false, line, write)
+				return
+			}
+			ids = append(ids, id)
+			id += step
+		}
+	} else {
+		a := c.skFast
+		tags = &a.tags
+		for w := 0; w < tags.ways; w++ {
+			id := tags.slot(w, a.row(w, line))
+			e := &tags.e[id]
+			if !e.valid {
+				c.finishFlat(id, 0, false, line, write)
+				return
+			}
+			ids = append(ids, id)
+		}
+	}
+	c.validIDs = ids
+	sel := c.sel(ids)
+	if sel == repl.NoVictim {
+		panic("cache: no installable victim among candidates")
+	}
+	id := ids[sel]
+	e := &tags.e[id]
+	c.finishFlat(id, e.addr, true, line, write)
+}
+
+// finishFlat writes line into slot id (which held oldAddr if oldValid) and
+// performs the same bookkeeping, in the same order, as Install followed by
+// finishInstall on the generic path: tag write first, then eviction
+// notification, then policy insertion.
+func (c *Cache) finishFlat(id repl.BlockID, oldAddr uint64, oldValid bool, line uint64, write bool) {
+	if c.saFast != nil {
+		c.saFast.installAt(id, line)
+	} else {
+		c.skFast.installAt(id, line)
+	}
+	if oldValid {
+		c.stats.Evictions++
+		wasDirty := c.dirty[id]
+		if wasDirty {
+			c.stats.Writebacks++
+		}
+		if c.OnEviction != nil {
+			c.OnEviction(oldAddr<<c.lineBits, wasDirty)
+		}
+		c.onEvict(id)
+		c.dirty[id] = false
+	}
+	c.onInsert(id, line)
+	c.dirty[id] = write
 }
 
 // install runs the replacement process for a missing line.
@@ -119,24 +333,22 @@ func (c *Cache) install(line uint64, write bool) {
 	// Hybrid second phase (§III-D): give the prospective victim a chance
 	// to relocate instead of dying, by expanding the walk below it and
 	// reselecting among it and its new descendants.
-	if victim < 0 && c.hybridLevels > 0 {
-		if z, ok := c.array.(*ZCache); ok {
-			v1 := c.selectVictim(cands, -1)
-			if v1 >= 0 {
-				before := len(cands)
-				cands = z.ExpandFrom(cands, v1, c.hybridLevels)
-				c.candBuf = cands
-				// If the expansion found an empty slot, the
-				// victim's block relocates there for free.
-				for i := before; i < len(cands); i++ {
-					if !cands[i].Valid {
-						victim = i
-						break
-					}
+	if victim < 0 && c.hybridLevels > 0 && c.zFast != nil {
+		v1 := c.selectVictim(cands, -1)
+		if v1 >= 0 {
+			before := len(cands)
+			cands = c.zFast.ExpandFrom(cands, v1, c.hybridLevels)
+			c.candBuf = cands
+			// If the expansion found an empty slot, the victim's
+			// block relocates there for free.
+			for i := before; i < len(cands); i++ {
+				if !cands[i].Valid {
+					victim = i
+					break
 				}
-				if victim < 0 {
-					victim = c.selectAmong(cands, v1, before)
-				}
+			}
+			if victim < 0 {
+				victim = c.selectAmong(cands, v1, before)
 			}
 		}
 	}
@@ -151,7 +363,7 @@ func (c *Cache) install(line uint64, write bool) {
 				panic("cache: no installable victim among candidates")
 			}
 		}
-		moves, err := c.array.Install(line, cands, victim)
+		moves, err := c.installArray(line, cands, victim)
 		if errors.Is(err, ErrCuckooCycle) {
 			c.stats.CycleRetries++
 			excluded = victim
@@ -166,11 +378,20 @@ func (c *Cache) install(line uint64, write bool) {
 	}
 }
 
+// installArray dispatches Install through the array's concrete type when
+// known.
+func (c *Cache) installArray(line uint64, cands []Candidate, victim int) ([]Move, error) {
+	if c.zFast != nil {
+		return c.zFast.Install(line, cands, victim)
+	}
+	return c.array.Install(line, cands, victim)
+}
+
 // EnableHybridWalk turns on the §III-D hybrid BFS+DFS extension with the
 // given second-phase depth (1 or 2 in practice). It fails for non-zcache
 // arrays.
 func (c *Cache) EnableHybridWalk(levels int) error {
-	if _, ok := c.array.(*ZCache); !ok {
+	if c.zFast == nil {
 		return fmt.Errorf("cache: %s has no walk to hybridize", c.array.Name())
 	}
 	if levels < 1 {
@@ -193,7 +414,7 @@ func (c *Cache) selectAmong(cands []Candidate, v1, from int) int {
 			c.validIdx = append(c.validIdx, i)
 		}
 	}
-	sel := c.policy.Select(c.validIDs)
+	sel := c.sel(c.validIDs)
 	if sel == repl.NoVictim {
 		return v1
 	}
@@ -211,7 +432,7 @@ func (c *Cache) selectVictim(cands []Candidate, excluded int) int {
 			c.validIdx = append(c.validIdx, i)
 		}
 	}
-	sel := c.policy.Select(c.validIDs)
+	sel := c.sel(c.validIDs)
 	if sel == repl.NoVictim {
 		return -1
 	}
@@ -231,28 +452,24 @@ func (c *Cache) finishInstall(line uint64, cands []Candidate, victim int, moves 
 		if c.OnEviction != nil {
 			c.OnEviction(v.Addr<<c.lineBits, wasDirty)
 		}
-		c.policy.OnEvict(v.ID)
+		c.onEvict(v.ID)
 		c.dirty[v.ID] = false
 	}
-	for _, m := range moves {
-		c.policy.OnMove(m.From, m.To)
-		c.dirty[m.To] = c.dirty[m.From]
-		c.dirty[m.From] = false
-	}
+	c.onMoves(moves)
 	// The incoming line landed in the root of the victim's ancestor chain.
 	root := victim
 	for cands[root].Parent >= 0 {
 		root = cands[root].Parent
 	}
 	id := cands[root].ID
-	c.policy.OnInsert(id, line)
+	c.onInsert(id, line)
 	c.dirty[id] = write
 }
 
 // Contains reports whether addr's line is resident, without touching
 // replacement state or counters beyond the tag probe.
 func (c *Cache) Contains(addr uint64) bool {
-	_, ok := c.array.Lookup(c.Line(addr))
+	_, ok := c.lookup(c.Line(addr))
 	return ok
 }
 
@@ -263,7 +480,7 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	if !ok {
 		return false, false
 	}
-	c.policy.OnEvict(id)
+	c.onEvict(id)
 	d := c.dirty[id]
 	c.dirty[id] = false
 	return true, d

@@ -59,13 +59,13 @@ func (a *ColumnAssoc) Lookup(line uint64) (repl.BlockID, bool) {
 	a.ctr.TagLookups++
 	a.ctr.TagReads++
 	p := repl.BlockID(a.h1.Hash(line))
-	if a.tags.valid[p] && a.tags.addrs[p] == line {
+	if a.tags.e[p].valid && a.tags.e[p].addr == line {
 		return p, true
 	}
 	a.ctr.TagLookups++
 	a.ctr.TagReads++
 	s := repl.BlockID(a.h2.Hash(line))
-	if s != p && a.tags.valid[s] && a.tags.addrs[s] == line {
+	if s != p && a.tags.e[s].valid && a.tags.e[s].addr == line {
 		a.SecondaryHits++
 		// Swap so the block moves to its primary slot (and the
 		// displaced block moves to what is its own alternative slot
@@ -73,8 +73,8 @@ func (a *ColumnAssoc) Lookup(line uint64) (repl.BlockID, bool) {
 		// unconditionally, accepting that the displaced block may now
 		// be unreachable; we keep it reachable by swapping only when
 		// legal, a common refinement).
-		displaced := a.tags.addrs[p]
-		if !a.tags.valid[p] || a.h1.Hash(displaced) == uint64(s) || a.h2.Hash(displaced) == uint64(s) {
+		displaced := a.tags.e[p].addr
+		if !a.tags.e[p].valid || a.h1.Hash(displaced) == uint64(s) || a.h2.Hash(displaced) == uint64(s) {
 			a.swap(p, s)
 			return p, true
 		}
@@ -85,8 +85,8 @@ func (a *ColumnAssoc) Lookup(line uint64) (repl.BlockID, bool) {
 
 // swap exchanges two slots' contents, charging the swap traffic.
 func (a *ColumnAssoc) swap(x, y repl.BlockID) {
-	a.tags.addrs[x], a.tags.addrs[y] = a.tags.addrs[y], a.tags.addrs[x]
-	a.tags.valid[x], a.tags.valid[y] = a.tags.valid[y], a.tags.valid[x]
+	a.tags.e[x].addr, a.tags.e[y].addr = a.tags.e[y].addr, a.tags.e[x].addr
+	a.tags.e[x].valid, a.tags.e[y].valid = a.tags.e[y].valid, a.tags.e[x].valid
 	a.ctr.TagReads += 2
 	a.ctr.TagWrites += 2
 	a.ctr.DataReads += 2
@@ -99,17 +99,21 @@ func (a *ColumnAssoc) Candidates(line uint64, buf []Candidate) []Candidate {
 	p := a.h1.Hash(line)
 	s := a.h2.Hash(line)
 	buf = append(buf, Candidate{
-		ID: repl.BlockID(p), Addr: a.tags.addrs[p], Valid: a.tags.valid[p],
+		ID: repl.BlockID(p), Addr: a.tags.e[p].addr, Valid: a.tags.e[p].valid,
 		Way: 0, Row: p, Level: 1, Parent: -1,
 	})
 	if s != p {
 		buf = append(buf, Candidate{
-			ID: repl.BlockID(s), Addr: a.tags.addrs[s], Valid: a.tags.valid[s],
+			ID: repl.BlockID(s), Addr: a.tags.e[s].addr, Valid: a.tags.e[s].valid,
 			Way: 0, Row: s, Level: 1, Parent: -1,
 		})
 	}
 	return buf
 }
+
+// MaxCandidates returns the most candidates one Candidates call can yield:
+// the primary and secondary locations.
+func (a *ColumnAssoc) MaxCandidates() int { return 2 }
 
 // Install places line in the victim slot.
 func (a *ColumnAssoc) Install(line uint64, cands []Candidate, victim int) ([]Move, error) {
@@ -117,8 +121,8 @@ func (a *ColumnAssoc) Install(line uint64, cands []Candidate, victim int) ([]Mov
 		return nil, fmt.Errorf("cache: victim index %d out of range [0,%d)", victim, len(cands))
 	}
 	id := cands[victim].ID
-	a.tags.addrs[id] = line
-	a.tags.valid[id] = true
+	a.tags.e[id].addr = line
+	a.tags.e[id].valid = true
 	a.ctr.TagWrites++
 	a.ctr.DataWrites++
 	return a.moves[:0], nil
@@ -128,8 +132,8 @@ func (a *ColumnAssoc) Install(line uint64, cands []Candidate, victim int) ([]Mov
 func (a *ColumnAssoc) Invalidate(line uint64) (repl.BlockID, bool) {
 	for _, h := range []hash.Func{a.h1, a.h2} {
 		id := repl.BlockID(h.Hash(line))
-		if a.tags.valid[id] && a.tags.addrs[id] == line {
-			a.tags.valid[id] = false
+		if a.tags.e[id].valid && a.tags.e[id].addr == line {
+			a.tags.e[id].valid = false
 			a.ctr.TagWrites++
 			return id, true
 		}

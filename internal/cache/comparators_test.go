@@ -126,9 +126,10 @@ func TestVictimCacheLookupConsistency(t *testing.T) {
 		}
 		if i%1000 == 0 {
 			seen := map[uint64]int{}
-			for id, valid := range v.main.valid {
+			for id, ent := range v.main.e {
+				valid := ent.valid
 				if valid {
-					seen[v.main.addrs[id]]++
+					seen[v.main.e[id].addr]++
 				}
 			}
 			for j, valid := range v.vbValid {
@@ -229,14 +230,15 @@ func TestColumnAssocLookupConsistency(t *testing.T) {
 	}
 	// No duplicates.
 	seen := map[uint64]bool{}
-	for id, v := range ca.tags.valid {
+	for id, ent := range ca.tags.e {
+		v := ent.valid
 		if !v {
 			continue
 		}
-		if seen[ca.tags.addrs[id]] {
-			t.Fatalf("line %#x duplicated", ca.tags.addrs[id])
+		if seen[ca.tags.e[id].addr] {
+			t.Fatalf("line %#x duplicated", ca.tags.e[id].addr)
 		}
-		seen[ca.tags.addrs[id]] = true
+		seen[ca.tags.e[id].addr] = true
 	}
 }
 

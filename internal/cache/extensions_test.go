@@ -71,7 +71,8 @@ func TestExpandFromGrowsTreeBelowVictim(t *testing.T) {
 			c.Access((state%8192)<<6, false)
 		}
 		full := true
-		for _, v := range z.tags.valid {
+		for _, ent := range z.tags.e {
+			v := ent.valid
 			if !v {
 				full = false
 				break
@@ -150,13 +151,14 @@ func TestHybridWalkPreservesContents(t *testing.T) {
 		}
 	}
 	// Hybrid relocation chains are longer; reachability must still hold.
-	for id, v := range z.tags.valid {
+	for id, ent := range z.tags.e {
+		v := ent.valid
 		if !v {
 			continue
 		}
 		way, row := z.tags.wayRow(repl.BlockID(id))
-		if fns[way].Hash(z.tags.addrs[id]) != row {
-			t.Fatalf("line %#x unreachable after hybrid relocations", z.tags.addrs[id])
+		if fns[way].Hash(z.tags.e[id].addr) != row {
+			t.Fatalf("line %#x unreachable after hybrid relocations", z.tags.e[id].addr)
 		}
 	}
 }

@@ -76,6 +76,10 @@ func (a *FullyAssoc) Candidates(line uint64, buf []Candidate) []Candidate {
 	return buf
 }
 
+// MaxCandidates returns the most candidates one Candidates call can yield:
+// every slot, once the array is full.
+func (a *FullyAssoc) MaxCandidates() int { return a.blocks }
+
 // Install replaces the victim slot with line.
 func (a *FullyAssoc) Install(line uint64, cands []Candidate, victim int) ([]Move, error) {
 	if victim < 0 || victim >= len(cands) {
@@ -191,6 +195,9 @@ func (a *RandomCandidates) Candidates(line uint64, buf []Candidate) []Candidate 
 	a.ctr.TagReads += uint64(a.n)
 	return buf
 }
+
+// MaxCandidates returns the most candidates one Candidates call can yield.
+func (a *RandomCandidates) MaxCandidates() int { return a.n }
 
 // Install replaces the victim slot with line.
 func (a *RandomCandidates) Install(line uint64, cands []Candidate, victim int) ([]Move, error) {

@@ -1,0 +1,312 @@
+// Kernel tests: the access hot path must stay allocation-free in steady
+// state, the flat fast path must be indistinguishable from the generic
+// candidate/select/install path, and the batched drive must replay the
+// per-access drive bit-identically.
+package cache
+
+import (
+	"testing"
+
+	"zcache/internal/hash"
+	"zcache/internal/repl"
+	"zcache/internal/trace"
+)
+
+// kernelAddrs returns a deterministic pseudo-random address stream over
+// footprint bytes, 64-byte aligned, with every eighth access a write.
+func kernelAddrs(n int, footprint uint64) ([]uint64, []bool) {
+	addrs := make([]uint64, n)
+	writes := make([]bool, n)
+	for i := range addrs {
+		addrs[i] = (hash.Mix64(uint64(i)+1) % footprint) &^ 63
+		writes[i] = i&7 == 0
+	}
+	return addrs, writes
+}
+
+func newKernelZCache(t testing.TB, rows uint64, levels int) *Cache {
+	t.Helper()
+	fns := make([]hash.Func, 4)
+	for w := range fns {
+		h, err := hash.NewH3(uint64(w)+1, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns[w] = h
+	}
+	z, err := NewZCache(rows, fns, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := repl.NewLRU(z.Blocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(z, pol, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func newKernelSetAssoc(t testing.TB, ways int, sets uint64, hashed bool) *Cache {
+	t.Helper()
+	var idx hash.Func
+	var err error
+	if hashed {
+		idx, err = hash.NewH3(7, sets)
+	} else {
+		idx, err = hash.NewBitSelect(0, sets)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewSetAssoc(ways, sets, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := repl.NewLRU(a.Blocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(a, pol, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func newKernelSkew(t testing.TB, ways int, rows uint64) *Cache {
+	t.Helper()
+	fns := make([]hash.Func, ways)
+	for w := range fns {
+		h, err := hash.NewH3(uint64(w)+11, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns[w] = h
+	}
+	a, err := NewSkew(rows, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := repl.NewLRU(a.Blocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(a, pol, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestAccessSteadyStateZeroAllocs asserts the tentpole property: once the
+// scratch buffers are warm, Access allocates nothing on either the zcache
+// walk path or the set-associative flat path.
+func TestAccessSteadyStateZeroAllocs(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t testing.TB) *Cache
+	}{
+		{"zcache", func(t testing.TB) *Cache { return newKernelZCache(t, 1024, 2) }},
+		{"setassoc", func(t testing.TB) *Cache { return newKernelSetAssoc(t, 4, 1024, true) }},
+		{"skew", func(t testing.TB) *Cache { return newKernelSkew(t, 4, 1024) }},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			c := cse.build(t)
+			footprint := uint64(c.Array().Blocks()) * 64 * 2
+			addrs, writes := kernelAddrs(1<<15, footprint)
+			for i := range addrs {
+				c.Access(addrs[i], writes[i])
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(2000, func() {
+				c.Access(addrs[i&(len(addrs)-1)], writes[i&(len(addrs)-1)])
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state Access allocates %.2f objects/access, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestFlatFastPathMatchesGeneric drives the same stream through a fast-path
+// controller and one forced onto the generic candidate/select/install path,
+// and requires bit-identical stats, counters, and tag contents.
+func TestFlatFastPathMatchesGeneric(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t testing.TB) *Cache
+		tags  func(c *Cache) *tagStore
+	}{
+		{
+			"setassoc-h3",
+			func(t testing.TB) *Cache { return newKernelSetAssoc(t, 4, 256, true) },
+			func(c *Cache) *tagStore { return &c.saFast.tags },
+		},
+		{
+			"setassoc-bitsel",
+			func(t testing.TB) *Cache { return newKernelSetAssoc(t, 4, 256, false) },
+			func(c *Cache) *tagStore { return &c.saFast.tags },
+		},
+		{
+			"skew",
+			func(t testing.TB) *Cache { return newKernelSkew(t, 4, 256) },
+			func(c *Cache) *tagStore { return &c.skFast.tags },
+		},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			fast := cse.build(t)
+			slow := cse.build(t)
+			slow.noFastPath = true
+			var fastEv, slowEv []uint64
+			fast.OnEviction = func(addr uint64, dirty bool) {
+				fastEv = append(fastEv, addr<<1|b2u(dirty))
+			}
+			slow.OnEviction = func(addr uint64, dirty bool) {
+				slowEv = append(slowEv, addr<<1|b2u(dirty))
+			}
+			footprint := uint64(fast.Array().Blocks()) * 64 * 3
+			addrs, writes := kernelAddrs(1<<16, footprint)
+			for i := range addrs {
+				hf := fast.Access(addrs[i], writes[i])
+				hs := slow.Access(addrs[i], writes[i])
+				if hf != hs {
+					t.Fatalf("access %d (addr %#x): fast hit=%v, generic hit=%v", i, addrs[i], hf, hs)
+				}
+			}
+			if fast.Stats() != slow.Stats() {
+				t.Fatalf("stats diverge:\nfast    %+v\ngeneric %+v", fast.Stats(), slow.Stats())
+			}
+			if fast.Counters() != slow.Counters() {
+				t.Fatalf("counters diverge:\nfast    %+v\ngeneric %+v", fast.Counters(), slow.Counters())
+			}
+			ft, st := cse.tags(fast), cse.tags(slow)
+			for i := range ft.e {
+				if ft.e[i] != st.e[i] {
+					t.Fatalf("tag slot %d diverges: fast %+v, generic %+v", i, ft.e[i], st.e[i])
+				}
+			}
+			if len(fastEv) != len(slowEv) {
+				t.Fatalf("eviction streams diverge: %d vs %d evictions", len(fastEv), len(slowEv))
+			}
+			for i := range fastEv {
+				if fastEv[i] != slowEv[i] {
+					t.Fatalf("eviction %d diverges: fast %#x, generic %#x", i, fastEv[i], slowEv[i])
+				}
+			}
+		})
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestAccessBatchMatchesAccess drives one controller per access and its twin
+// through AccessBatch over FillBatch-refilled buffers; stats and counters
+// must be bit-identical, with the identical generator stream feeding both.
+func TestAccessBatchMatchesAccess(t *testing.T) {
+	builds := []struct {
+		name  string
+		build func(t testing.TB) *Cache
+	}{
+		{"zcache", func(t testing.TB) *Cache { return newKernelZCache(t, 256, 2) }},
+		{"setassoc", func(t testing.TB) *Cache { return newKernelSetAssoc(t, 4, 256, true) }},
+	}
+	for _, cse := range builds {
+		t.Run(cse.name, func(t *testing.T) {
+			single := cse.build(t)
+			batched := cse.build(t)
+			footprint := uint64(single.Array().Blocks()) * 64 * 2
+			mk := func() trace.Generator {
+				g, err := trace.NewZipf(0, footprint, 64, 0.8, 0, 0.25, 99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			}
+			g1, g2 := mk(), mk()
+			const total = 1 << 16
+			singleHits := 0
+			for i := 0; i < total; i++ {
+				a, ok := g1.Next()
+				if !ok {
+					t.Fatal("generator ended early")
+				}
+				if single.Access(a.Addr, a.Write) {
+					singleHits++
+				}
+			}
+			buf := make([]trace.Access, 192) // deliberately not a divisor of total
+			batchedHits := 0
+			for done := 0; done < total; {
+				want := len(buf)
+				if rem := total - done; rem < want {
+					want = rem
+				}
+				n := trace.FillBatch(g2, buf[:want])
+				if n == 0 {
+					t.Fatal("generator ended early")
+				}
+				batchedHits += batched.AccessBatch(buf[:n])
+				done += n
+			}
+			if singleHits != batchedHits {
+				t.Fatalf("hits diverge: per-access %d, batched %d", singleHits, batchedHits)
+			}
+			if single.Stats() != batched.Stats() {
+				t.Fatalf("stats diverge:\nper-access %+v\nbatched    %+v", single.Stats(), batched.Stats())
+			}
+			if single.Counters() != batched.Counters() {
+				t.Fatalf("counters diverge:\nper-access %+v\nbatched    %+v", single.Counters(), batched.Counters())
+			}
+		})
+	}
+}
+
+// benchAccess is the shared kernel benchmark body: steady-state accesses over
+// a pre-generated stream at ~2x capacity.
+func benchAccess(b *testing.B, c *Cache) {
+	footprint := uint64(c.Array().Blocks()) * 64 * 2
+	addrs, writes := kernelAddrs(1<<16, footprint)
+	for i := range addrs {
+		c.Access(addrs[i], writes[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	mask := len(addrs) - 1
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&mask], writes[i&mask])
+	}
+	b.StopTimer()
+	st := c.Stats()
+	if st.Accesses > 0 {
+		b.ReportMetric(float64(st.Misses)/float64(st.Accesses), "missrate")
+	}
+}
+
+// BenchmarkKernelZCacheAccess measures steady-state ns/access on the Z4/16
+// walk path (the ISSUE's zcache kernel target).
+func BenchmarkKernelZCacheAccess(b *testing.B) {
+	benchAccess(b, newKernelZCache(b, 2048, 2))
+}
+
+// BenchmarkKernelSetAssocAccess measures steady-state ns/access on the
+// hashed set-associative flat path.
+func BenchmarkKernelSetAssocAccess(b *testing.B) {
+	benchAccess(b, newKernelSetAssoc(b, 4, 2048, true))
+}
+
+// BenchmarkKernelSkewAccess measures steady-state ns/access on the skew flat
+// path.
+func BenchmarkKernelSkewAccess(b *testing.B) {
+	benchAccess(b, newKernelSkew(b, 4, 2048))
+}

@@ -15,6 +15,12 @@ import (
 type SetAssoc struct {
 	name  string
 	index hash.Func
+	// idxH3/idxBS hold the index function's concrete type when it is one
+	// of the two shipped implementations, so the per-access row
+	// computation is a direct (inlinable for BitSelect) call instead of an
+	// interface dispatch.
+	idxH3 *hash.H3
+	idxBS *hash.BitSelect
 	tags  tagStore
 	ctr   Counters
 	moves []Move // always empty; kept for interface symmetry
@@ -29,11 +35,29 @@ func NewSetAssoc(ways int, sets uint64, index hash.Func) (*SetAssoc, error) {
 	if index.Buckets() != sets {
 		return nil, fmt.Errorf("cache: index function covers %d buckets, array has %d sets", index.Buckets(), sets)
 	}
-	return &SetAssoc{
+	a := &SetAssoc{
 		name:  fmt.Sprintf("sa-%dw-%ds-%s", ways, sets, index.Name()),
 		index: index,
 		tags:  newTagStore(ways, sets),
-	}, nil
+	}
+	switch f := index.(type) {
+	case *hash.H3:
+		a.idxH3 = f
+	case *hash.BitSelect:
+		a.idxBS = f
+	}
+	return a, nil
+}
+
+// row computes the set index through the concrete function when known.
+func (a *SetAssoc) row(line uint64) uint64 {
+	if a.idxBS != nil {
+		return a.idxBS.Hash(line)
+	}
+	if a.idxH3 != nil {
+		return a.idxH3.Hash(line)
+	}
+	return a.index.Hash(line)
 }
 
 // Name identifies the design.
@@ -47,14 +71,16 @@ func (a *SetAssoc) Ways() int { return a.tags.ways }
 
 // Lookup probes all ways of the indexed set.
 func (a *SetAssoc) Lookup(line uint64) (repl.BlockID, bool) {
-	row := a.index.Hash(line)
+	row := a.row(line)
 	a.ctr.TagLookups++
 	a.ctr.TagReads += uint64(a.tags.ways)
+	id := repl.BlockID(row)
+	step := repl.BlockID(a.tags.rows)
 	for w := 0; w < a.tags.ways; w++ {
-		id := a.tags.slot(w, row)
-		if a.tags.valid[id] && a.tags.addrs[id] == line {
+		if e := &a.tags.e[id]; e.valid && e.addr == line {
 			return id, true
 		}
+		id += step
 	}
 	return 0, false
 }
@@ -63,13 +89,13 @@ func (a *SetAssoc) Lookup(line uint64) (repl.BlockID, bool) {
 // candidates were already performed by the demand lookup that missed, so no
 // extra accounting happens here.
 func (a *SetAssoc) Candidates(line uint64, buf []Candidate) []Candidate {
-	row := a.index.Hash(line)
+	row := a.row(line)
 	for w := 0; w < a.tags.ways; w++ {
 		id := a.tags.slot(w, row)
 		buf = append(buf, Candidate{
 			ID:     id,
-			Addr:   a.tags.addrs[id],
-			Valid:  a.tags.valid[id],
+			Addr:   a.tags.e[id].addr,
+			Valid:  a.tags.e[id].valid,
 			Way:    w,
 			Row:    row,
 			Level:  1,
@@ -86,20 +112,32 @@ func (a *SetAssoc) Install(line uint64, cands []Candidate, victim int) ([]Move, 
 		return nil, fmt.Errorf("cache: victim index %d out of range [0,%d)", victim, len(cands))
 	}
 	id := cands[victim].ID
-	a.tags.addrs[id] = line
-	a.tags.valid[id] = true
+	a.tags.e[id].addr = line
+	a.tags.e[id].valid = true
 	a.ctr.TagWrites++
 	a.ctr.DataWrites++
 	return a.moves[:0], nil
 }
 
+// MaxCandidates returns the most candidates one Candidates call can yield.
+func (a *SetAssoc) MaxCandidates() int { return a.tags.ways }
+
+// installAt writes line into slot id, charging the same install traffic as
+// Install. The controller's flat fast path uses it to place a line without
+// materializing Candidate structs.
+func (a *SetAssoc) installAt(id repl.BlockID, line uint64) {
+	a.tags.e[id] = tagEntry{addr: line, valid: true}
+	a.ctr.TagWrites++
+	a.ctr.DataWrites++
+}
+
 // Invalidate removes line if resident, returning its slot.
 func (a *SetAssoc) Invalidate(line uint64) (repl.BlockID, bool) {
-	row := a.index.Hash(line)
+	row := a.row(line)
 	for w := 0; w < a.tags.ways; w++ {
 		id := a.tags.slot(w, row)
-		if a.tags.valid[id] && a.tags.addrs[id] == line {
-			a.tags.valid[id] = false
+		if a.tags.e[id].valid && a.tags.e[id].addr == line {
+			a.tags.e[id].valid = false
 			a.ctr.TagWrites++
 			return id, true
 		}

@@ -14,11 +14,29 @@ import (
 // structurally identical to a zcache whose walk is limited to one level
 // (the paper's Z4/4 configuration).
 type Skew struct {
-	name  string
-	fns   []hash.Func
+	name string
+	fns  []hash.Func
+	// h3 mirrors fns with concrete types when every way hash is an H3
+	// (the paper's configuration), killing the per-way interface dispatch
+	// on the probe loop.
+	h3    []*hash.H3
 	tags  tagStore
 	ctr   Counters
 	moves []Move
+}
+
+// h3Fns returns fns as concrete *hash.H3 values, or nil if any way uses a
+// different implementation.
+func h3Fns(fns []hash.Func) []*hash.H3 {
+	h3 := make([]*hash.H3, len(fns))
+	for i, f := range fns {
+		h, ok := f.(*hash.H3)
+		if !ok {
+			return nil
+		}
+		h3[i] = h
+	}
+	return h3
 }
 
 // NewSkew returns a skew-associative array with rows rows per way, indexed
@@ -32,8 +50,17 @@ func NewSkew(rows uint64, fns []hash.Func) (*Skew, error) {
 	return &Skew{
 		name: fmt.Sprintf("skew-%dw-%dr", len(fns), rows),
 		fns:  fns,
+		h3:   h3Fns(fns),
 		tags: newTagStore(len(fns), rows),
 	}, nil
+}
+
+// row computes way w's row for addr through the concrete hash when known.
+func (a *Skew) row(w int, addr uint64) uint64 {
+	if a.h3 != nil {
+		return a.h3[w].Hash(addr)
+	}
+	return a.fns[w].Hash(addr)
 }
 
 // validateSkewFns checks geometry and pairwise distinctness of way hashes.
@@ -81,8 +108,8 @@ func (a *Skew) Lookup(line uint64) (repl.BlockID, bool) {
 	a.ctr.TagLookups++
 	a.ctr.TagReads += uint64(a.tags.ways)
 	for w := 0; w < a.tags.ways; w++ {
-		id := a.tags.slot(w, a.fns[w].Hash(line))
-		if a.tags.valid[id] && a.tags.addrs[id] == line {
+		id := a.tags.slot(w, a.row(w, line))
+		if e := &a.tags.e[id]; e.valid && e.addr == line {
 			return id, true
 		}
 	}
@@ -93,12 +120,12 @@ func (a *Skew) Lookup(line uint64) (repl.BlockID, bool) {
 // lookup already read these tags.
 func (a *Skew) Candidates(line uint64, buf []Candidate) []Candidate {
 	for w := 0; w < a.tags.ways; w++ {
-		row := a.fns[w].Hash(line)
+		row := a.row(w, line)
 		id := a.tags.slot(w, row)
 		buf = append(buf, Candidate{
 			ID:     id,
-			Addr:   a.tags.addrs[id],
-			Valid:  a.tags.valid[id],
+			Addr:   a.tags.e[id].addr,
+			Valid:  a.tags.e[id].valid,
 			Way:    w,
 			Row:    row,
 			Level:  1,
@@ -114,19 +141,31 @@ func (a *Skew) Install(line uint64, cands []Candidate, victim int) ([]Move, erro
 		return nil, fmt.Errorf("cache: victim index %d out of range [0,%d)", victim, len(cands))
 	}
 	id := cands[victim].ID
-	a.tags.addrs[id] = line
-	a.tags.valid[id] = true
+	a.tags.e[id].addr = line
+	a.tags.e[id].valid = true
 	a.ctr.TagWrites++
 	a.ctr.DataWrites++
 	return a.moves[:0], nil
 }
 
+// MaxCandidates returns the most candidates one Candidates call can yield.
+func (a *Skew) MaxCandidates() int { return a.tags.ways }
+
+// installAt writes line into slot id, charging the same install traffic as
+// Install. The controller's flat fast path uses it to place a line without
+// materializing Candidate structs.
+func (a *Skew) installAt(id repl.BlockID, line uint64) {
+	a.tags.e[id] = tagEntry{addr: line, valid: true}
+	a.ctr.TagWrites++
+	a.ctr.DataWrites++
+}
+
 // Invalidate removes line if resident.
 func (a *Skew) Invalidate(line uint64) (repl.BlockID, bool) {
 	for w := 0; w < a.tags.ways; w++ {
-		id := a.tags.slot(w, a.fns[w].Hash(line))
-		if a.tags.valid[id] && a.tags.addrs[id] == line {
-			a.tags.valid[id] = false
+		id := a.tags.slot(w, a.row(w, line))
+		if a.tags.e[id].valid && a.tags.e[id].addr == line {
+			a.tags.e[id].valid = false
 			a.ctr.TagWrites++
 			return id, true
 		}

@@ -83,7 +83,7 @@ func (a *VictimCache) Lookup(line uint64) (repl.BlockID, bool) {
 	a.ctr.TagReads += uint64(a.main.ways)
 	for w := 0; w < a.main.ways; w++ {
 		id := a.main.slot(w, row)
-		if a.main.valid[id] && a.main.addrs[id] == line {
+		if a.main.e[id].valid && a.main.e[id].addr == line {
 			return id, true
 		}
 	}
@@ -103,9 +103,9 @@ func (a *VictimCache) Lookup(line uint64) (repl.BlockID, bool) {
 // swapBack exchanges buffer entry i with the block in way 0 of row.
 func (a *VictimCache) swapBack(i int, row uint64, line uint64) {
 	id := a.main.slot(0, row)
-	oldAddr, oldValid := a.main.addrs[id], a.main.valid[id]
-	a.main.addrs[id] = line
-	a.main.valid[id] = true
+	oldAddr, oldValid := a.main.e[id].addr, a.main.e[id].valid
+	a.main.e[id].addr = line
+	a.main.e[id].valid = true
 	if oldValid {
 		a.vbAddr[i] = oldAddr
 		a.vbValid[i] = true
@@ -128,8 +128,8 @@ func (a *VictimCache) Candidates(line uint64, buf []Candidate) []Candidate {
 		id := a.main.slot(w, row)
 		buf = append(buf, Candidate{
 			ID:     id,
-			Addr:   a.main.addrs[id],
-			Valid:  a.main.valid[id],
+			Addr:   a.main.e[id].addr,
+			Valid:  a.main.e[id].valid,
 			Way:    w,
 			Row:    row,
 			Level:  1,
@@ -138,6 +138,9 @@ func (a *VictimCache) Candidates(line uint64, buf []Candidate) []Candidate {
 	}
 	return buf
 }
+
+// MaxCandidates returns the most candidates one Candidates call can yield.
+func (a *VictimCache) MaxCandidates() int { return a.main.ways }
 
 // Install replaces the victim slot; the displaced block drops into the
 // victim buffer (FIFO), displacing its oldest entry.
@@ -153,8 +156,8 @@ func (a *VictimCache) Install(line uint64, cands []Candidate, victim int) ([]Mov
 		a.ctr.TagWrites++
 		a.ctr.DataWrites++
 	}
-	a.main.addrs[c.ID] = line
-	a.main.valid[c.ID] = true
+	a.main.e[c.ID].addr = line
+	a.main.e[c.ID].valid = true
 	a.ctr.TagWrites++
 	a.ctr.DataWrites++
 	return a.moves[:0], nil
@@ -165,8 +168,8 @@ func (a *VictimCache) Invalidate(line uint64) (repl.BlockID, bool) {
 	row := a.idx.Hash(line)
 	for w := 0; w < a.main.ways; w++ {
 		id := a.main.slot(w, row)
-		if a.main.valid[id] && a.main.addrs[id] == line {
-			a.main.valid[id] = false
+		if a.main.e[id].valid && a.main.e[id].addr == line {
+			a.main.e[id].valid = false
 			a.ctr.TagWrites++
 			return id, true
 		}

@@ -165,6 +165,15 @@ func (v *VWay) Candidates(line uint64, buf []Candidate) []Candidate {
 	return buf
 }
 
+// MaxCandidates returns the most candidates one Candidates call can yield:
+// the global sample, or the tag set on local fallback.
+func (v *VWay) MaxCandidates() int {
+	if v.sample > v.tagWays {
+		return v.sample
+	}
+	return v.tagWays
+}
+
 // Install evicts the victim data block (invalidating its owner tag) and
 // wires line into a tag entry of its set pointing at that block.
 func (v *VWay) Install(line uint64, cands []Candidate, victim int) ([]Move, error) {

@@ -24,8 +24,12 @@ var ErrCuckooCycle = errors.New("cache: relocation chain revisits a slot")
 // instead tracks the number of replacement candidates R (§IV), which grows
 // geometrically with the walk depth: R = W · Σ_{l=0}^{L-1} (W-1)^l.
 type ZCache struct {
-	name   string
-	fns    []hash.Func
+	name string
+	fns  []hash.Func
+	// h3 mirrors fns with concrete types when every way hash is an H3
+	// (the paper's configuration), so walk expansion — W-1 hashes per
+	// candidate — pays no interface dispatch.
+	h3     []*hash.H3
 	tags   tagStore
 	levels int
 	// maxCands lets the controller stop the walk early under bandwidth or
@@ -45,6 +49,11 @@ type ZCache struct {
 	// repeats counts walk expansions that landed on an already-visited
 	// slot, for the §III-D "repeats are rare in large caches" claim.
 	repeats uint64
+	// seen[id] holds the walk epoch that last visited slot id, so repeat
+	// detection is one array read instead of a rescan of the candidate
+	// buffer on every expansion.
+	seen      []uint64
+	walkEpoch uint64
 }
 
 // WalkStrategy selects how the replacement walk explores candidates
@@ -118,6 +127,7 @@ func NewZCache(rows uint64, fns []hash.Func, levels int, opts ...ZOption) (*ZCac
 	z := &ZCache{
 		name:   fmt.Sprintf("z-%dw-%dr-L%d", len(fns), rows, levels),
 		fns:    fns,
+		h3:     h3Fns(fns),
 		tags:   newTagStore(len(fns), rows),
 		levels: levels,
 	}
@@ -129,7 +139,21 @@ func NewZCache(rows uint64, fns []hash.Func, levels int, opts ...ZOption) (*ZCac
 	if z.maxCands == 0 {
 		z.maxCands = ReplacementCandidates(len(fns), levels)
 	}
+	// Relocation chains are at most one slot per walk level (plus hybrid
+	// extension levels); a small constant covers every configuration, so
+	// Install never allocates on the hot path.
+	z.chain = make([]repl.BlockID, 0, levels+8)
+	z.moves = make([]Move, 0, levels+8)
+	z.seen = make([]uint64, len(fns)*int(rows))
 	return z, nil
+}
+
+// row computes way w's row for addr through the concrete hash when known.
+func (z *ZCache) row(w int, addr uint64) uint64 {
+	if z.h3 != nil {
+		return z.h3[w].Hash(addr)
+	}
+	return z.fns[w].Hash(addr)
 }
 
 // Name identifies the design.
@@ -172,12 +196,20 @@ func (z *ZCache) Lookup(line uint64) (repl.BlockID, bool) {
 	z.ctr.TagLookups++
 	z.ctr.TagReads += uint64(z.tags.ways)
 	for w := 0; w < z.tags.ways; w++ {
-		id := z.tags.slot(w, z.fns[w].Hash(line))
-		if z.tags.valid[id] && z.tags.addrs[id] == line {
+		id := z.tags.slot(w, z.row(w, line))
+		if e := &z.tags.e[id]; e.valid && e.addr == line {
 			return id, true
 		}
 	}
 	return 0, false
+}
+
+// MaxCandidates returns the most candidates a walk can yield: the natural
+// R(W, L) bound, doubled because the §III-D hybrid second phase may expand
+// the tree up to twice the budget. Runtime budget changes (SetWalkBudget)
+// only shrink below this.
+func (z *ZCache) MaxCandidates() int {
+	return 2 * ReplacementCandidates(z.tags.ways, z.levels)
 }
 
 // Candidates performs the breadth-first walk of §III-A. First-level
@@ -194,21 +226,23 @@ func (z *ZCache) Candidates(line uint64, buf []Candidate) []Candidate {
 	if z.repeatFilter != nil {
 		z.repeatFilter.Reset()
 	}
+	z.walkEpoch++
 	// Level 1: direct conflicts. Tag reads were charged by the demand
 	// lookup that missed.
 	for w := 0; w < z.tags.ways; w++ {
-		row := z.fns[w].Hash(line)
+		row := z.row(w, line)
 		id := z.tags.slot(w, row)
 		c := Candidate{
 			ID:     id,
-			Addr:   z.tags.addrs[id],
-			Valid:  z.tags.valid[id],
+			Addr:   z.tags.e[id].addr,
+			Valid:  z.tags.e[id].valid,
 			Way:    w,
 			Row:    row,
 			Level:  1,
 			Parent: -1,
 		}
 		buf = append(buf, c)
+		z.seen[id] = z.walkEpoch
 		if !c.Valid {
 			return buf
 		}
@@ -233,19 +267,19 @@ func (z *ZCache) Candidates(line uint64, buf []Candidate) []Candidate {
 					z.chargeWalk(singleReads)
 					return buf
 				}
-				row := z.fns[w].Hash(p.Addr)
+				row := z.row(w, p.Addr)
 				id := z.tags.slot(w, row)
 				singleReads++
 				c := Candidate{
 					ID:     id,
-					Addr:   z.tags.addrs[id],
-					Valid:  z.tags.valid[id],
+					Addr:   z.tags.e[id].addr,
+					Valid:  z.tags.e[id].valid,
 					Way:    w,
 					Row:    row,
 					Level:  level,
 					Parent: parent,
 				}
-				if z.seenInWalk(buf[start:], id) {
+				if z.seen[id] == z.walkEpoch {
 					z.repeats++
 				}
 				if c.Valid && z.repeatFilter != nil && z.repeatFilter.MayContain(c.Addr) {
@@ -255,6 +289,7 @@ func (z *ZCache) Candidates(line uint64, buf []Candidate) []Candidate {
 					continue
 				}
 				buf = append(buf, c)
+				z.seen[id] = z.walkEpoch
 				if !c.Valid {
 					z.chargeWalk(singleReads)
 					return buf
@@ -289,6 +324,12 @@ func (z *ZCache) ExpandFrom(cands []Candidate, idx, extraLevels int) []Candidate
 		return cands
 	}
 	start := len(cands)
+	// Re-stamp the existing tree under a fresh epoch so repeat detection
+	// covers the whole walk even when ExpandFrom is called on its own.
+	z.walkEpoch++
+	for i := range cands {
+		z.seen[cands[i].ID] = z.walkEpoch
+	}
 	levelStart, levelEnd := idx, idx+1
 	firstLevel := true
 	for lvl := 0; lvl < extraLevels; lvl++ {
@@ -303,22 +344,23 @@ func (z *ZCache) ExpandFrom(cands []Candidate, idx, extraLevels int) []Candidate
 					z.chargeWalk(singleReads)
 					return cands
 				}
-				row := z.fns[w].Hash(p.Addr)
+				row := z.row(w, p.Addr)
 				id := z.tags.slot(w, row)
 				singleReads++
 				c := Candidate{
 					ID:     id,
-					Addr:   z.tags.addrs[id],
-					Valid:  z.tags.valid[id],
+					Addr:   z.tags.e[id].addr,
+					Valid:  z.tags.e[id].valid,
 					Way:    w,
 					Row:    row,
 					Level:  p.Level + 1,
 					Parent: parent,
 				}
-				if z.seenInWalk(cands, id) {
+				if z.seen[id] == z.walkEpoch {
 					z.repeats++
 				}
 				cands = append(cands, c)
+				z.seen[id] = z.walkEpoch
 				if !c.Valid {
 					z.chargeWalk(singleReads)
 					return cands
@@ -348,19 +390,21 @@ func (z *ZCache) ExpandFrom(cands []Candidate, idx, extraLevels int) []Candidate
 // cannot be pipelined.
 func (z *ZCache) candidatesDFS(line uint64, buf []Candidate) []Candidate {
 	start := len(buf)
+	z.walkEpoch++
 	for w := 0; w < z.tags.ways; w++ {
-		row := z.fns[w].Hash(line)
+		row := z.row(w, line)
 		id := z.tags.slot(w, row)
 		c := Candidate{
 			ID:     id,
-			Addr:   z.tags.addrs[id],
-			Valid:  z.tags.valid[id],
+			Addr:   z.tags.e[id].addr,
+			Valid:  z.tags.e[id].valid,
 			Way:    w,
 			Row:    row,
 			Level:  1,
 			Parent: -1,
 		}
 		buf = append(buf, c)
+		z.seen[id] = z.walkEpoch
 		if !c.Valid {
 			return buf
 		}
@@ -373,7 +417,7 @@ func (z *ZCache) candidatesDFS(line uint64, buf []Candidate) []Candidate {
 		z.dfsState = hash.Mix64(z.dfsState)
 		hop := int(z.dfsState % uint64(z.tags.ways-1))
 		w := (p.Way + 1 + hop) % z.tags.ways
-		row := z.fns[w].Hash(p.Addr)
+		row := z.row(w, p.Addr)
 		id := z.tags.slot(w, row)
 		// Serialized single read: one pipeline slot each.
 		z.ctr.TagReads++
@@ -381,20 +425,21 @@ func (z *ZCache) candidatesDFS(line uint64, buf []Candidate) []Candidate {
 		z.ctr.TagLookups++
 		c := Candidate{
 			ID:     id,
-			Addr:   z.tags.addrs[id],
-			Valid:  z.tags.valid[id],
+			Addr:   z.tags.e[id].addr,
+			Valid:  z.tags.e[id].valid,
 			Way:    w,
 			Row:    row,
 			Level:  p.Level + 1,
 			Parent: cur,
 		}
-		if z.seenInWalk(buf[start:], id) {
+		if z.seen[id] == z.walkEpoch {
 			z.repeats++
 			// A chain that bites its own tail cannot continue; the
 			// controller will pick among what was found.
 			break
 		}
 		buf = append(buf, c)
+		z.seen[id] = z.walkEpoch
 		if !c.Valid {
 			break
 		}
@@ -415,17 +460,6 @@ func (z *ZCache) chargeWalk(singleReads uint64) {
 	slots := (singleReads + w - 1) / w
 	z.ctr.WalkLookups += slots
 	z.ctr.TagLookups += slots
-}
-
-// seenInWalk reports whether slot id already appears in this walk's
-// candidates.
-func (z *ZCache) seenInWalk(cands []Candidate, id repl.BlockID) bool {
-	for i := range cands {
-		if cands[i].ID == id {
-			return true
-		}
-	}
-	return false
 }
 
 // Install evicts cands[victim] and relocates its ancestor chain so the
@@ -457,9 +491,9 @@ func (z *ZCache) Install(line uint64, cands []Candidate, victim int) ([]Move, er
 	z.moves = z.moves[:0]
 	for i := 0; i+1 < len(z.chain); i++ {
 		to, from := z.chain[i], z.chain[i+1]
-		z.tags.addrs[to] = z.tags.addrs[from]
-		z.tags.valid[to] = z.tags.valid[from]
-		z.tags.valid[from] = false
+		z.tags.e[to].addr = z.tags.e[from].addr
+		z.tags.e[to].valid = z.tags.e[from].valid
+		z.tags.e[from].valid = false
 		z.moves = append(z.moves, Move{From: from, To: to})
 		// §III-B: each relocation reads and writes both arrays.
 		z.ctr.TagReads++
@@ -470,8 +504,8 @@ func (z *ZCache) Install(line uint64, cands []Candidate, victim int) ([]Move, er
 	}
 	// The incoming line lands in the chain's root (a first-level slot).
 	root := z.chain[len(z.chain)-1]
-	z.tags.addrs[root] = line
-	z.tags.valid[root] = true
+	z.tags.e[root].addr = line
+	z.tags.e[root].valid = true
 	z.ctr.TagWrites++
 	z.ctr.DataWrites++
 	return z.moves, nil
@@ -480,9 +514,9 @@ func (z *ZCache) Install(line uint64, cands []Candidate, victim int) ([]Move, er
 // Invalidate removes line if resident.
 func (z *ZCache) Invalidate(line uint64) (repl.BlockID, bool) {
 	for w := 0; w < z.tags.ways; w++ {
-		id := z.tags.slot(w, z.fns[w].Hash(line))
-		if z.tags.valid[id] && z.tags.addrs[id] == line {
-			z.tags.valid[id] = false
+		id := z.tags.slot(w, z.row(w, line))
+		if z.tags.e[id].valid && z.tags.e[id].addr == line {
+			z.tags.e[id].valid = false
 			z.ctr.TagWrites++
 			return id, true
 		}

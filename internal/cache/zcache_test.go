@@ -138,7 +138,8 @@ func TestZCacheWalkTreeShape(t *testing.T) {
 	for i := uint64(0); i < 5000; i++ {
 		c.Access((hash.Mix64(i)%256)<<6, false)
 		full := true
-		for _, v := range z.tags.valid {
+		for _, ent := range z.tags.e {
+			v := ent.valid
 			if !v {
 				full = false
 				break
@@ -229,7 +230,8 @@ func TestZCacheRelocationPreservesContents(t *testing.T) {
 		}
 	}
 	valid := 0
-	for _, v := range z.tags.valid {
+	for _, ent := range z.tags.e {
+		v := ent.valid
 		if v {
 			valid++
 		}
@@ -250,11 +252,12 @@ func TestZCacheNoDuplicateResidentLines(t *testing.T) {
 		c.Access((state%512)<<6, false)
 	}
 	seen := map[uint64]bool{}
-	for id, v := range z.tags.valid {
+	for id, ent := range z.tags.e {
+		v := ent.valid
 		if !v {
 			continue
 		}
-		line := z.tags.addrs[id]
+		line := z.tags.e[id].addr
 		if seen[line] {
 			t.Fatalf("line %#x resident in two slots", line)
 		}
@@ -274,12 +277,13 @@ func TestZCacheResidentLineIsInOwnWayPosition(t *testing.T) {
 		state = hash.Mix64(state)
 		c.Access((state%400)<<6, false)
 	}
-	for id, v := range z.tags.valid {
+	for id, ent := range z.tags.e {
+		v := ent.valid
 		if !v {
 			continue
 		}
 		way, row := z.tags.wayRow(repl.BlockID(id))
-		line := z.tags.addrs[id]
+		line := z.tags.e[id].addr
 		if fns[way].Hash(line) != row {
 			t.Fatalf("line %#x in way %d row %d, but h(line) = %d — unreachable by lookup",
 				line, way, row, fns[way].Hash(line))
@@ -307,7 +311,8 @@ func TestZCacheEnergyAccountingPerMiss(t *testing.T) {
 			c.Access((state%(3*4096))<<6, false)
 		}
 		full := true
-		for _, v := range z.tags.valid {
+		for _, ent := range z.tags.e {
+			v := ent.valid
 			if !v {
 				full = false
 				break
@@ -402,11 +407,12 @@ func TestZCacheCuckooCycleRecovery(t *testing.T) {
 	}
 	// No duplicate lines, all reachable.
 	seen := map[uint64]bool{}
-	for id, v := range z.tags.valid {
+	for id, ent := range z.tags.e {
+		v := ent.valid
 		if !v {
 			continue
 		}
-		line := z.tags.addrs[id]
+		line := z.tags.e[id].addr
 		if seen[line] {
 			t.Fatalf("line %#x duplicated after cycle recovery", line)
 		}

@@ -1,0 +1,83 @@
+// Package prof wires the standard Go profilers into command-line tools: one
+// flag set registers -cpuprofile, -memprofile, and -trace, and one
+// Start/stop pair brackets the instrumented work. The output files are
+// plain pprof / runtime-trace artifacts, readable with `go tool pprof` and
+// `go tool trace`.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the three standard profiling destinations; empty means off.
+type Flags struct {
+	CPU   string
+	Mem   string
+	Trace string
+}
+
+// Register installs the profiling flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to `file` on exit")
+	fs.StringVar(&f.Trace, "trace", "", "write an execution trace to `file`")
+}
+
+// Start begins the requested profiles. The returned stop function must run
+// exactly once (defer it) and finalizes every profile, including the heap
+// snapshot.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("prof: start trace: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if f.Mem == "" {
+			return nil
+		}
+		mf, err := os.Create(f.Mem)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		defer mf.Close()
+		runtime.GC() // materialize up-to-date heap stats
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return fmt.Errorf("prof: write heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}

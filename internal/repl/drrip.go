@@ -128,6 +128,13 @@ func (p *DRRIP) OnMove(from, to BlockID) {
 	p.rrpv[from], p.last[from], p.valid[from] = 0, 0, false
 }
 
+// OnMoves applies a relocation chain in one call.
+func (p *DRRIP) OnMoves(moves []Move) {
+	for _, m := range moves {
+		p.OnMove(m.From, m.To)
+	}
+}
+
 // Select evicts a maximal-RRPV candidate, aging candidates as needed.
 func (p *DRRIP) Select(cands []BlockID) int {
 	if len(cands) == 0 {

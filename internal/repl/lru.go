@@ -48,8 +48,28 @@ func (p *LRU) OnMove(from, to BlockID) {
 	p.ts[from], p.valid[from] = 0, false
 }
 
-// Select evicts the least recently used candidate.
-func (p *LRU) Select(cands []BlockID) int { return selectMinKey(p, cands) }
+// OnMoves applies a relocation chain in one call.
+func (p *LRU) OnMoves(moves []Move) {
+	for _, m := range moves {
+		p.OnMove(m.From, m.To)
+	}
+}
+
+// Select evicts the least recently used candidate. The scan reads the
+// timestamp array directly rather than going through RetentionKey, so the
+// walk's inner loop costs no dynamic dispatch.
+func (p *LRU) Select(cands []BlockID) int {
+	if len(cands) == 0 {
+		return NoVictim
+	}
+	best, bestTS := 0, p.ts[cands[0]]
+	for i := 1; i < len(cands); i++ {
+		if ts := p.ts[cands[i]]; ts < bestTS {
+			best, bestTS = i, ts
+		}
+	}
+	return best
+}
 
 // RetentionKey is the last-access timestamp: unique (one counter increment
 // per event) and larger = more recent = more valuable.
@@ -136,6 +156,13 @@ func (p *BucketedLRU) OnEvict(id BlockID) {
 func (p *BucketedLRU) OnMove(from, to BlockID) {
 	p.wrapped[to], p.full[to], p.valid[to] = p.wrapped[from], p.full[from], p.valid[from]
 	p.wrapped[from], p.full[from], p.valid[from] = 0, 0, false
+}
+
+// OnMoves applies a relocation chain in one call.
+func (p *BucketedLRU) OnMoves(moves []Move) {
+	for _, m := range moves {
+		p.OnMove(m.From, m.To)
+	}
 }
 
 // Select evicts the candidate with the greatest wrapped age, computed in

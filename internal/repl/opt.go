@@ -76,6 +76,13 @@ func (p *OPT) OnMove(from, to BlockID) {
 	p.nextUse[from], p.inserted[from], p.valid[from] = 0, 0, false
 }
 
+// OnMoves applies a relocation chain in one call.
+func (p *OPT) OnMoves(moves []Move) {
+	for _, m := range moves {
+		p.OnMove(m.From, m.To)
+	}
+}
+
 // Select evicts the candidate reused furthest in the future; never-reused
 // candidates win immediately.
 func (p *OPT) Select(cands []BlockID) int {

@@ -53,6 +53,13 @@ func (p *Random) OnMove(from, to BlockID) {
 	p.seq[from], p.valid[from] = 0, false
 }
 
+// OnMoves applies a relocation chain in one call.
+func (p *Random) OnMoves(moves []Move) {
+	for _, m := range moves {
+		p.OnMove(m.From, m.To)
+	}
+}
+
 // Select evicts a uniformly random candidate.
 func (p *Random) Select(cands []BlockID) int {
 	if len(cands) == 0 {
@@ -117,8 +124,30 @@ func (p *LFU) OnMove(from, to BlockID) {
 	p.freq[from], p.last[from], p.valid[from] = 0, 0, false
 }
 
-// Select evicts the least frequently used candidate.
-func (p *LFU) Select(cands []BlockID) int { return selectMinKey(p, cands) }
+// OnMoves applies a relocation chain in one call.
+func (p *LFU) OnMoves(moves []Move) {
+	for _, m := range moves {
+		p.OnMove(m.From, m.To)
+	}
+}
+
+// Select evicts the least frequently used candidate, computing the packed
+// retention key inline to keep the scan free of dynamic dispatch.
+func (p *LFU) Select(cands []BlockID) int {
+	if len(cands) == 0 {
+		return NoVictim
+	}
+	const mask = uint64(1<<lfuSeqBits - 1)
+	best := 0
+	bestKey := p.freq[cands[0]]<<lfuSeqBits | (p.last[cands[0]] & mask)
+	for i := 1; i < len(cands); i++ {
+		id := cands[i]
+		if k := p.freq[id]<<lfuSeqBits | (p.last[id] & mask); k < bestKey {
+			best, bestKey = i, k
+		}
+	}
+	return best
+}
 
 // RetentionKey packs frequency above a recency tiebreak.
 func (p *LFU) RetentionKey(id BlockID) uint64 {
@@ -186,6 +215,13 @@ func (p *SRRIP) OnEvict(id BlockID) {
 func (p *SRRIP) OnMove(from, to BlockID) {
 	p.rrpv[to], p.last[to], p.valid[to] = p.rrpv[from], p.last[from], p.valid[from]
 	p.rrpv[from], p.last[from], p.valid[from] = 0, 0, false
+}
+
+// OnMoves applies a relocation chain in one call.
+func (p *SRRIP) OnMoves(moves []Move) {
+	for _, m := range moves {
+		p.OnMove(m.From, m.To)
+	}
 }
 
 // Select evicts a candidate with maximal RRPV, aging all candidates until

@@ -29,6 +29,20 @@ type BlockID uint32
 // NoVictim is returned by Select implementations when given no candidates.
 const NoVictim = -1
 
+// Move describes one relocation in a zcache install chain: the block in
+// From slides into the vacant To slot. Chains are applied leaf-first, so
+// each move's destination is vacant when it lands.
+type Move struct {
+	From, To BlockID
+}
+
+// MoveBatcher is implemented by policies that apply a whole relocation
+// chain in one call. The cache controller prefers OnMoves over per-move
+// OnMove so a K-deep chain costs one dynamic dispatch instead of K.
+type MoveBatcher interface {
+	OnMoves(moves []Move)
+}
+
 // Policy is a replacement policy driven by cache events.
 //
 // The cache wrapper guarantees: OnInsert is called at most once per slot
@@ -61,24 +75,6 @@ type Policy interface {
 // invoking the cache, so OnInsert/OnAccess can attach it to the block.
 type FutureAware interface {
 	SetNextUse(next uint64)
-}
-
-// selectMinKey is the shared Select implementation: evict the candidate with
-// the smallest RetentionKey. Policies whose decision metric differs from
-// their global ordering (bucketed LRU's wrapped timestamps, SRRIP's RRPV
-// scan) override this.
-func selectMinKey(p Policy, cands []BlockID) int {
-	if len(cands) == 0 {
-		return NoVictim
-	}
-	best := 0
-	bestKey := p.RetentionKey(cands[0])
-	for i := 1; i < len(cands); i++ {
-		if k := p.RetentionKey(cands[i]); k < bestKey {
-			best, bestKey = i, k
-		}
-	}
-	return best
 }
 
 // checkBlocks validates a block-count argument shared by all constructors.

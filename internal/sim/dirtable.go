@@ -1,0 +1,136 @@
+package sim
+
+import "zcache/internal/hash"
+
+// dirSlot is one index slot: the line key plus the slab index of its entry
+// (-1 = empty). Key and index share a slot so a probe touches one cache
+// line.
+type dirSlot struct {
+	key uint64
+	idx int32
+}
+
+// dirTable maps full line addresses to directory entries. It replaces a Go
+// map on the coherence hot path: every L1 write hit and every L2 fetch
+// probes the directory, and the runtime map's hashing and bucket walk
+// dominated those probes in profiles. Inclusivity bounds the population by
+// the bank's resident lines, so the table is sized once at construction and
+// never rehashes. Entries live in a fixed slab separate from the index
+// slots: deletion back-shifts index slots, but a *dirEntry handed to a
+// caller stays valid for the entry's whole lifetime.
+type dirTable struct {
+	mask  uint64
+	slots []dirSlot
+	slab  []dirEntry
+	free  []int32
+	n     int
+}
+
+// newDirTable sizes the table for one L2 bank holding blocks lines: index
+// capacity at least twice the population bound keeps linear probes short.
+func newDirTable(blocks int) *dirTable {
+	capPow := 1
+	for capPow < 2*blocks {
+		capPow <<= 1
+	}
+	t := &dirTable{
+		mask:  uint64(capPow - 1),
+		slots: make([]dirSlot, capPow),
+		slab:  make([]dirEntry, blocks+1),
+		free:  make([]int32, 0, blocks+1),
+	}
+	for i := range t.slots {
+		t.slots[i].idx = -1
+	}
+	for i := len(t.slab) - 1; i >= 0; i-- {
+		t.free = append(t.free, int32(i))
+	}
+	return t
+}
+
+func (t *dirTable) home(line uint64) uint64 { return hash.Mix64(line) & t.mask }
+
+// get returns the line's entry, or nil when the directory does not know it.
+func (t *dirTable) get(line uint64) *dirEntry {
+	for i := t.home(line); ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.idx < 0 {
+			return nil
+		}
+		if s.key == line {
+			return &t.slab[s.idx]
+		}
+	}
+}
+
+// getOrCreate returns the line's entry, creating a reset one when absent.
+func (t *dirTable) getOrCreate(line uint64) *dirEntry {
+	i := t.home(line)
+	for ; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.idx < 0 {
+			break
+		}
+		if s.key == line {
+			return &t.slab[s.idx]
+		}
+	}
+	if len(t.free) == 0 {
+		// More live entries than the bank can hold resident means an
+		// entry leaked past its line's eviction — fail loudly rather
+		// than corrupt coherence state.
+		panic("sim: directory population exceeds L2 bank capacity")
+	}
+	j := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	t.slots[i] = dirSlot{key: line, idx: j}
+	t.n++
+	t.slab[j] = dirEntry{owner: -1}
+	return &t.slab[j]
+}
+
+// forEach visits every live entry in unspecified order. fn must not insert
+// or delete entries.
+func (t *dirTable) forEach(fn func(line uint64, e *dirEntry)) {
+	for i := range t.slots {
+		if t.slots[i].idx >= 0 {
+			fn(t.slots[i].key, &t.slab[t.slots[i].idx])
+		}
+	}
+}
+
+// del removes the line's entry if present, back-shifting the probe chain so
+// linear probing needs no tombstones.
+func (t *dirTable) del(line uint64) {
+	i := t.home(line)
+	for ; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.idx < 0 {
+			return
+		}
+		if s.key == line {
+			t.free = append(t.free, s.idx)
+			t.n--
+			break
+		}
+	}
+	for {
+		t.slots[i].idx = -1
+		k := i
+		for {
+			k = (k + 1) & t.mask
+			if t.slots[k].idx < 0 {
+				return
+			}
+			// Slot k's element may fill the hole at i iff its home
+			// position lies cyclically outside (i, k] — otherwise
+			// moving it would break its own probe chain.
+			h := t.home(t.slots[k].key)
+			if (k-h)&t.mask >= (k-i)&t.mask {
+				t.slots[i] = t.slots[k]
+				i = k
+				break
+			}
+		}
+	}
+}

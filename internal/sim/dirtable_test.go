@@ -1,0 +1,92 @@
+// dirTable is a hand-rolled open-addressing map with back-shift deletion —
+// the one data structure here subtle enough to deserve a model-based test
+// against Go's built-in map.
+package sim
+
+import (
+	"testing"
+
+	"zcache/internal/hash"
+)
+
+// TestDirTableMatchesMap drives a random insert/lookup/delete mix through
+// the table and a reference map and requires identical visible state
+// throughout. Keys are drawn from a small universe so collisions, probe
+// chains, and delete-in-chain cases occur constantly.
+func TestDirTableMatchesMap(t *testing.T) {
+	const blocks = 64
+	tab := newDirTable(blocks)
+	ref := make(map[uint64]*dirEntry)
+
+	rng := uint64(1)
+	rnd := func(n uint64) uint64 {
+		rng = hash.Mix64(rng)
+		return rng % n
+	}
+
+	for op := 0; op < 200_000; op++ {
+		line := rnd(3 * blocks) // small universe: heavy collisions
+		switch rnd(4) {
+		case 0: // insert/update
+			if len(ref) >= blocks {
+				continue // respect the population bound
+			}
+			e := tab.getOrCreate(line)
+			re, ok := ref[line]
+			if !ok {
+				re = &dirEntry{owner: -1}
+				ref[line] = re
+			}
+			if *e != *re {
+				t.Fatalf("op %d: getOrCreate(%d) state %+v, want %+v", op, line, *e, *re)
+			}
+			mut := int8(rnd(4)) - 1
+			e.owner, re.owner = mut, mut
+			e.sharers, re.sharers = uint64(op), uint64(op)
+		case 1: // delete
+			tab.del(line)
+			delete(ref, line)
+		default: // lookup
+			e := tab.get(line)
+			re, ok := ref[line]
+			if ok != (e != nil) {
+				t.Fatalf("op %d: get(%d) present=%v, want %v", op, line, e != nil, ok)
+			}
+			if ok && *e != *re {
+				t.Fatalf("op %d: get(%d) = %+v, want %+v", op, line, *e, *re)
+			}
+		}
+		if tab.n != len(ref) {
+			t.Fatalf("op %d: table population %d, map has %d", op, tab.n, len(ref))
+		}
+	}
+	// Every surviving key must still be reachable.
+	for line, re := range ref {
+		e := tab.get(line)
+		if e == nil || *e != *re {
+			t.Fatalf("final: get(%d) = %v, want %+v", line, e, *re)
+		}
+	}
+}
+
+// TestDirTablePointerStability pins the slab contract: a *dirEntry stays
+// valid (same address, same state) across unrelated inserts and deletes.
+func TestDirTablePointerStability(t *testing.T) {
+	tab := newDirTable(32)
+	held := tab.getOrCreate(7)
+	held.sharers = 0xbeef
+	for i := uint64(0); i < 31; i++ {
+		tab.getOrCreate(100 + i)
+	}
+	for i := uint64(0); i < 31; i++ {
+		tab.del(100 + i)
+		tab.getOrCreate(200 + i)
+		tab.del(200 + i)
+	}
+	if got := tab.get(7); got != held {
+		t.Fatalf("entry for line 7 moved: %p -> %p", held, got)
+	}
+	if held.sharers != 0xbeef {
+		t.Fatalf("held entry mutated: sharers = %#x", held.sharers)
+	}
+}

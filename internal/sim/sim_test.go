@@ -193,7 +193,7 @@ func TestInclusionInvariant(t *testing.T) {
 	// directory entry's sharers must actually hold the line, and every
 	// L1 line must have a directory entry.
 	for _, bank := range sys.banks {
-		for line, e := range bank.dir {
+		bank.dir.forEach(func(line uint64, e *dirEntry) {
 			addr := line << sys.lineBits
 			if !sys.banks[sys.bankOf(line)].cache.Contains(sys.bankAddr(line)) {
 				t.Fatalf("directory entry for line %#x but L2 does not hold it (inclusion broken)", line)
@@ -207,7 +207,7 @@ func TestInclusionInvariant(t *testing.T) {
 					t.Fatalf("directory lists core %d for line %#x but its L1 lacks it", cid, line)
 				}
 			}
-		}
+		})
 	}
 	for cid, c := range sys.cores {
 		// Probe every possible line by checking the L1's own tags via
@@ -216,7 +216,7 @@ func TestInclusionInvariant(t *testing.T) {
 			addr := l << 6
 			if c.l1.Contains(addr) {
 				bank := sys.banks[sys.bankOf(l)]
-				if bank.dir[l] == nil || bank.dir[l].sharers&(1<<uint(cid)) == 0 {
+				if e := bank.dir.get(l); e == nil || e.sharers&(1<<uint(cid)) == 0 {
 					t.Fatalf("core %d holds line %#x not tracked by directory", cid, l)
 				}
 				if !bank.cache.Contains(sys.bankAddr(l)) {
@@ -241,13 +241,13 @@ func TestSingleOwnerInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, bank := range sys.banks {
-		for line, e := range bank.dir {
+		bank.dir.forEach(func(line uint64, e *dirEntry) {
 			if e.owner >= 0 {
 				if e.sharers != 1<<uint(e.owner) {
 					t.Fatalf("line %#x owned by core %d but sharers = %b", line, e.owner, e.sharers)
 				}
 			}
-		}
+		})
 	}
 }
 

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"zcache/internal/cache"
@@ -17,10 +16,10 @@ type dirEntry struct {
 	owner   int8
 }
 
-// l2bank is one NUCA bank: a cache plus the directory slice for its lines.
+// l2bank is one NUCA bank: a cache plus the directory table for its lines.
 type l2bank struct {
 	cache *cache.Cache
-	dir   map[uint64]*dirEntry // keyed by full line address
+	dir   *dirTable // keyed by full line address
 	// demand counts demand lookups (the §VI-D "core accesses" load).
 	demand uint64
 	// nextFree models the bank's pipelined tag port: one demand access
@@ -42,6 +41,11 @@ func (b *l2bank) bankQueueDelay(now uint64) uint64 {
 	return start - now
 }
 
+// coreBatchLen is the per-core generator batch size: 4 KiB of accesses,
+// enough to amortize the batch call without displacing the simulated tag
+// arrays from the host cache.
+const coreBatchLen = 256
+
 // core is one in-order CPU with its private L1.
 type core struct {
 	id     int
@@ -54,25 +58,79 @@ type core struct {
 	warmupInstrs uint64
 	warmupCycles uint64
 	done         bool
+	// buf holds prefetched accesses (trace.FillBatch); it persists across
+	// warmup and measurement phases so the consumed stream is exactly the
+	// sequence repeated Next() calls would yield.
+	buf    []trace.Access
+	bufPos int
+	bufLen int
 }
 
-// coreHeap orders cores by local time (ties by id, for determinism).
+// next returns the core's next access, refilling the batch buffer from the
+// generator when drained. A zero-length refill is the end of the stream.
+func (c *core) next() (trace.Access, bool) {
+	if c.bufPos >= c.bufLen {
+		c.bufLen = trace.FillBatch(c.gen, c.buf)
+		c.bufPos = 0
+		if c.bufLen == 0 {
+			return trace.Access{}, false
+		}
+	}
+	a := c.buf[c.bufPos]
+	c.bufPos++
+	return a, true
+}
+
+// coreHeap is a binary min-heap over cores ordered by (cycles, id). The
+// order is total — no two cores compare equal — so the sequence of root
+// extractions is unique and the simulation's interleaving is deterministic
+// regardless of heap internals. The concrete sift-down replaces
+// container/heap, whose interface methods cost a dynamic dispatch per
+// comparison on the scheduler's hottest loop.
 type coreHeap []*core
 
-func (h coreHeap) Len() int { return len(h) }
-func (h coreHeap) Less(i, j int) bool {
+func (h coreHeap) less(i, j int) bool {
 	if h[i].cycles != h[j].cycles {
 		return h[i].cycles < h[j].cycles
 	}
 	return h[i].id < h[j].id
 }
-func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*core)) }
-func (h *coreHeap) Pop() interface{} {
+
+// down restores the heap property below i.
+func (h coreHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// init establishes the heap property.
+func (h coreHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// pop removes and returns the root.
+func (h *coreHeap) pop() *core {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	x := old[0]
+	old[0] = old[n]
+	*h = old[:n]
+	(*h).down(0)
 	return x
 }
 
@@ -144,7 +202,7 @@ func NewSystem(cfg Config, gens []trace.Generator) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		c := &core{id: i, gen: gens[i], l1: l1}
+		c := &core{id: i, gen: gens[i], l1: l1, buf: make([]trace.Access, coreBatchLen)}
 		// L1 victim handling: update the directory and write dirty
 		// victims back to the L2 (inclusive hierarchy).
 		coreID := i
@@ -164,7 +222,7 @@ func NewSystem(cfg Config, gens []trace.Generator) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		bank := &l2bank{cache: cc, dir: make(map[uint64]*dirEntry, arr.Blocks())}
+		bank := &l2bank{cache: cc, dir: newDirTable(arr.Blocks())}
 		bankIdx := b
 		cc.OnEviction = func(addr uint64, dirty bool) { s.l2Evicted(bankIdx, addr, dirty) }
 		s.banks = append(s.banks, bank)
@@ -208,17 +266,17 @@ func (s *System) phase(target uint64) {
 		c.done = false
 		h = append(h, c)
 	}
-	heap.Init(&h)
-	for h.Len() > 0 {
+	h.init()
+	for len(h) > 0 {
 		c := h[0]
-		a, ok := c.gen.Next()
+		a, ok := c.next()
 		if !ok || c.instrs >= stops[c.id] {
 			c.done = true
-			heap.Pop(&h)
+			h.pop()
 			continue
 		}
 		s.step(c, a)
-		heap.Fix(&h, 0)
+		h.down(0)
 	}
 }
 
@@ -265,7 +323,7 @@ func (s *System) step(c *core, a trace.Access) {
 // copies are invalidated and c becomes owner (MESI S/E→M).
 func (s *System) writeUpgrade(coreID int, line uint64) {
 	bank := s.banks[s.bankOf(line)]
-	e := bank.dir[line]
+	e := bank.dir.get(line)
 	if e == nil {
 		// Inclusivity means the directory must know the line; a miss
 		// here is a protocol bug.
@@ -327,9 +385,15 @@ func (s *System) l2Fetch(coreID int, line uint64, write bool) {
 	s.stall += bank.bankQueueDelay(s.now + s.stall)
 	s.stall += uint64(s.bankLat)
 
+	// Single directory probe for the whole fetch. The entry pointer stays
+	// valid across the nested cache accesses below: an entry is only
+	// released when its line is evicted from the L2, and the line being
+	// fetched missed, so it cannot be anyone's victim.
+	e := bank.dir.get(line)
+
 	// A dirty copy in another L1 must fold into the L2 first (the
 	// directory forwards the request; we charge one extra hop).
-	if e := bank.dir[line]; e != nil && e.owner >= 0 && int(e.owner) != coreID {
+	if e != nil && e.owner >= 0 && int(e.owner) != coreID {
 		owner := int(e.owner)
 		addr := line << s.lineBits
 		present, dirty := s.cores[owner].l1.Invalidate(addr)
@@ -347,14 +411,13 @@ func (s *System) l2Fetch(coreID int, line uint64, write bool) {
 	} else {
 		s.counts.L2Misses++
 		s.stall += s.memAccess(line, true)
-		s.registerFill(line)
+		e = s.registerFill(line)
 	}
 
-	// Directory: record the requester.
-	e := bank.dir[line]
+	// Directory: record the requester. A hit implies the entry existed
+	// (inclusive hierarchy); a miss just registered it.
 	if e == nil {
-		e = &dirEntry{owner: -1}
-		bank.dir[line] = e
+		e = s.registerFill(line)
 	}
 	if write {
 		others := e.sharers &^ (1 << uint(coreID))
@@ -368,13 +431,10 @@ func (s *System) l2Fetch(coreID int, line uint64, write bool) {
 	}
 }
 
-// registerFill creates the directory entry for a line just installed in the
-// L2 (sharers fill in as requests arrive).
-func (s *System) registerFill(line uint64) {
-	bank := s.banks[s.bankOf(line)]
-	if bank.dir[line] == nil {
-		bank.dir[line] = &dirEntry{owner: -1}
-	}
+// registerFill returns the directory entry for a line just installed in the
+// L2, creating it if needed (sharers fill in as requests arrive).
+func (s *System) registerFill(line uint64) *dirEntry {
+	return s.banks[s.bankOf(line)].dir.getOrCreate(line)
 }
 
 // l1Evicted is the L1 victim callback: maintain the directory, fold dirty
@@ -382,7 +442,7 @@ func (s *System) registerFill(line uint64) {
 func (s *System) l1Evicted(coreID int, addr uint64, dirty bool) {
 	line := addr >> s.lineBits
 	bank := s.banks[s.bankOf(line)]
-	if e := bank.dir[line]; e != nil {
+	if e := bank.dir.get(line); e != nil {
 		e.sharers &^= 1 << uint(coreID)
 		if e.owner == int8(coreID) {
 			e.owner = -1
@@ -399,7 +459,7 @@ func (s *System) l2Evicted(bankIdx int, bankByteAddr uint64, l2dirty bool) {
 	line := s.fullLine(bankIdx, bankByteAddr)
 	bank := s.banks[bankIdx]
 	dirty := l2dirty
-	if e := bank.dir[line]; e != nil {
+	if e := bank.dir.get(line); e != nil {
 		addr := line << s.lineBits
 		mask := e.sharers
 		for cid := 0; mask != 0; cid++ {
@@ -413,7 +473,7 @@ func (s *System) l2Evicted(bankIdx int, bankByteAddr uint64, l2dirty bool) {
 				dirty = true
 			}
 		}
-		delete(bank.dir, line)
+		bank.dir.del(line)
 	}
 	if dirty {
 		s.counts.Writebacks++

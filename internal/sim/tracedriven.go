@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"zcache/internal/cache"
@@ -65,7 +64,7 @@ func CaptureL2Stream(cfg Config, gens []trace.Generator) (*L2Stream, error) {
 		if err != nil {
 			return nil, err
 		}
-		cores[i] = &core{id: i, gen: gens[i], l1: l1}
+		cores[i] = &core{id: i, gen: gens[i], l1: l1, buf: make([]trace.Access, coreBatchLen)}
 		coreID := i
 		l1.OnEviction = func(addr uint64, dirty bool) {
 			if dirty && recording {
@@ -86,12 +85,12 @@ func CaptureL2Stream(cfg Config, gens []trace.Generator) (*L2Stream, error) {
 			stops[i] = c.instrs + target
 			h = append(h, c)
 		}
-		heap.Init(&h)
-		for h.Len() > 0 {
+		h.init()
+		for len(h) > 0 {
 			c := h[0]
-			a, ok := c.gen.Next()
+			a, ok := c.next()
 			if !ok || c.instrs >= stops[c.id] {
-				heap.Pop(&h)
+				h.pop()
 				continue
 			}
 			c.instrs += uint64(a.Gap) + 1
@@ -110,7 +109,7 @@ func CaptureL2Stream(cfg Config, gens []trace.Generator) (*L2Stream, error) {
 				})
 				lastRef[c.id] = c.instrs
 			}
-			heap.Fix(&h, 0)
+			h.down(0)
 		}
 	}
 	if cfg.WarmupInstructionsPerCore > 0 {

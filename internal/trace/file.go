@@ -112,6 +112,13 @@ func (g *Replay) Next() (Access, bool) {
 	return a, true
 }
 
+// NextBatch copies the next run of recorded accesses into buf.
+func (g *Replay) NextBatch(buf []Access) int {
+	n := copy(buf, g.accesses[g.pos:])
+	g.pos += n
+	return n
+}
+
 // Reset rewinds to the beginning.
 func (g *Replay) Reset() { g.pos = 0 }
 

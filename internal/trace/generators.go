@@ -69,6 +69,15 @@ func (g *Strided) Next() (Access, bool) {
 	return a, true
 }
 
+// NextBatch fills buf with the next accesses. Strided streams are infinite,
+// so the buffer always fills.
+func (g *Strided) NextBatch(buf []Access) int {
+	for i := range buf {
+		buf[i], _ = g.Next()
+	}
+	return len(buf)
+}
+
 // Reset rewinds the stream.
 func (g *Strided) Reset() { g.pos, g.phase, g.count, g.r = 0, 0, 0, g.r0 }
 
@@ -91,6 +100,12 @@ type Zipf struct {
 	// inverse-CDF table, sampled: cdf[i] is cumulative probability of
 	// ranks [0..i] over a coarse grid; lookup interpolates.
 	cdf []float64
+	// cellStart/cellEnd narrow the CDF binary search: bucket b of the
+	// quantized draw u covers results in [cellStart[b], cellEnd[b]], which
+	// for a skewed CDF is usually a single cell. The narrowed search
+	// visits the same lower bound the full-range search would.
+	cellStart []int32
+	cellEnd   []int32
 	// perm and p2mask implement a cycle-walking permutation scrambling
 	// rank → line: multiplication by an odd constant is bijective on the
 	// power-of-two domain covering lines, and out-of-range values walk
@@ -151,8 +166,33 @@ func NewZipf(base, footprint, lineSize uint64, theta float64, gap uint32, writeF
 	for i := range g.cdf {
 		g.cdf[i] /= sum
 	}
+	// Index the CDF: lowerBound is monotone in u, so a draw falling in
+	// bucket b (u ∈ [b/B, (b+1)/B)) can only land between the bounds of
+	// the bucket's endpoints.
+	const buckets = 2048
+	g.cellStart = make([]int32, buckets)
+	g.cellEnd = make([]int32, buckets)
+	for b := 0; b < buckets; b++ {
+		g.cellStart[b] = int32(lowerBound(g.cdf, float64(b)/buckets))
+		g.cellEnd[b] = int32(lowerBound(g.cdf, float64(b+1)/buckets))
+	}
 	g.Reset()
 	return g, nil
+}
+
+// lowerBound returns the least index i with cdf[i] >= u, clamped to the last
+// index — the same search Next performs.
+func lowerBound(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // cellWeight integrates the zipf density rank^-theta over one grid cell.
@@ -168,8 +208,11 @@ func cellWeight(lo, width, theta float64) float64 {
 // Next returns the next zipf-distributed access.
 func (g *Zipf) Next() (Access, bool) {
 	u := g.r.float()
-	// Binary search the CDF grid.
-	lo, hi := 0, len(g.cdf)-1
+	// Binary search the CDF grid, narrowed by the bucket index (u < 1, so
+	// the bucket never overflows; the narrowed range provably brackets
+	// the full-range lower bound).
+	b := int(u * float64(len(g.cellStart)))
+	lo, hi := int(g.cellStart[b]), int(g.cellEnd[b])
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if g.cdf[mid] < u {
@@ -197,6 +240,15 @@ func (g *Zipf) Next() (Access, bool) {
 		a.Write = true
 	}
 	return a, true
+}
+
+// NextBatch fills buf with the next accesses. Zipf streams are infinite, so
+// the buffer always fills.
+func (g *Zipf) NextBatch(buf []Access) int {
+	for i := range buf {
+		buf[i], _ = g.Next()
+	}
+	return len(buf)
 }
 
 // Reset rewinds the stream.
@@ -251,6 +303,15 @@ func (g *PointerChase) Next() (Access, bool) {
 		a.Write = true
 	}
 	return a, true
+}
+
+// NextBatch fills buf with the next accesses. Chase streams are infinite,
+// so the buffer always fills.
+func (g *PointerChase) NextBatch(buf []Access) int {
+	for i := range buf {
+		buf[i], _ = g.Next()
+	}
+	return len(buf)
 }
 
 // Reset rewinds the stream.
@@ -325,6 +386,15 @@ func (g *Stream) Next() (Access, bool) {
 	return a, true
 }
 
+// NextBatch fills buf with the next accesses. Streaming sweeps are
+// infinite, so the buffer always fills.
+func (g *Stream) NextBatch(buf []Access) int {
+	for i := range buf {
+		buf[i], _ = g.Next()
+	}
+	return len(buf)
+}
+
 // Reset rewinds the stream.
 func (g *Stream) Reset() { g.pos, g.count, g.r = 0, 0, g.r0 }
 
@@ -377,6 +447,20 @@ func (g *Mixed) Next() (Access, bool) {
 		}
 	}
 	return g.parts[len(g.parts)-1].Next()
+}
+
+// NextBatch fills buf with the next accesses. Component choice is a fresh
+// draw per access, so the components' pulls must interleave exactly as
+// repeated Next() would; the win is the single dispatch into the mix.
+func (g *Mixed) NextBatch(buf []Access) int {
+	for i := range buf {
+		a, ok := g.Next()
+		if !ok {
+			return i
+		}
+		buf[i] = a
+	}
+	return len(buf)
 }
 
 // Reset rewinds the stream and every component.
@@ -443,6 +527,22 @@ func (g *SharedRegion) Next() (Access, bool) {
 	return a, true
 }
 
+// NextBatch bulk-pulls from the wrapped generator, then applies the shared-
+// region redirect in place. The wrapper's RNG and the inner generator's RNG
+// are independent streams, each consumed in per-access order, so the result
+// is byte-identical to repeated Next() calls.
+func (g *SharedRegion) NextBatch(buf []Access) int {
+	n := FillBatch(g.inner, buf)
+	lines := g.sharedLen / g.lineSize
+	for i := 0; i < n; i++ {
+		if g.r.float() < g.frac {
+			buf[i].Addr = g.sharedLo + g.r.below(lines)*g.lineSize
+			buf[i].Write = g.r.float() < g.writeFr
+		}
+	}
+	return n
+}
+
 // Reset rewinds the stream and the wrapped generator.
 func (g *SharedRegion) Reset() { g.r = g.r0; g.inner.Reset() }
 
@@ -467,6 +567,20 @@ func (g *Limit) Next() (Access, bool) {
 	}
 	g.seen++
 	return g.inner.Next()
+}
+
+// NextBatch bulk-pulls from the wrapped generator, clamped to the remaining
+// budget.
+func (g *Limit) NextBatch(buf []Access) int {
+	if g.seen >= g.n {
+		return 0
+	}
+	if rem := g.n - g.seen; uint64(len(buf)) > rem {
+		buf = buf[:rem]
+	}
+	n := FillBatch(g.inner, buf)
+	g.seen += uint64(n)
+	return n
 }
 
 // Reset rewinds the stream and the wrapped generator.

@@ -44,6 +44,41 @@ func (g *Phased) Next() (Access, bool) {
 	return a, true
 }
 
+// NextBatch fills buf phase-run by phase-run: each iteration bulk-pulls at
+// most the current phase's remaining length from its component, so a long
+// buffer still respects every phase boundary. A finite component that runs
+// dry mid-phase restarts exactly as Next() would.
+func (g *Phased) NextBatch(buf []Access) int {
+	n := 0
+	for n < len(buf) {
+		if g.used >= g.lengths[g.idx] {
+			g.used = 0
+			g.idx = (g.idx + 1) % len(g.parts)
+		}
+		want := g.lengths[g.idx] - g.used
+		if rem := uint64(len(buf) - n); want > rem {
+			want = rem
+		}
+		got := FillBatch(g.parts[g.idx], buf[n:n+int(want)])
+		g.used += uint64(got)
+		n += got
+		if uint64(got) < want {
+			// The component ran dry mid-phase. Next() charges the failed
+			// pull to the phase, restarts the component, and retries once;
+			// mirror that per-access recovery here.
+			g.used++
+			g.parts[g.idx].Reset()
+			a, ok := g.parts[g.idx].Next()
+			if !ok {
+				return n
+			}
+			buf[n] = a
+			n++
+		}
+	}
+	return n
+}
+
 // Reset rewinds all phases.
 func (g *Phased) Reset() {
 	g.idx, g.used = 0, 0

@@ -42,6 +42,38 @@ type Generator interface {
 	Name() string
 }
 
+// BatchGenerator is the bulk companion to Generator: NextBatch fills a
+// caller-owned buffer with the next accesses of the stream, amortizing one
+// dynamic dispatch over the whole buffer instead of paying one per access.
+//
+// The contract is strict determinism: NextBatch must produce exactly the
+// sequence repeated Next() calls would, and the two may be interleaved
+// freely. n < len(buf) happens only when the stream ends; n == 0 means
+// exhausted.
+type BatchGenerator interface {
+	Generator
+	NextBatch(buf []Access) int
+}
+
+// FillBatch bulk-pulls from g: through NextBatch when implemented, falling
+// back to repeated Next() otherwise. Drivers call this with a reused buffer
+// so the hot loop makes one virtual call per buffer, not per access.
+func FillBatch(g Generator, buf []Access) int {
+	if bg, ok := g.(BatchGenerator); ok {
+		return bg.NextBatch(buf)
+	}
+	n := 0
+	for n < len(buf) {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		buf[n] = a
+		n++
+	}
+	return n
+}
+
 // rng is a small deterministic xorshift64* generator embedded by the
 // synthetic generators. The zero value is invalid; seed must be non-zero,
 // which the constructors guarantee by mixing in a constant.
