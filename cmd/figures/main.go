@@ -8,13 +8,19 @@
 //
 // By default the quick (laptop-scale) preset runs; -full switches to the
 // paper-scale Table I machine.
+//
+// With -quarantine, persistently failing matrix cells no longer abort the
+// figure: the partial figure renders with the missing cells listed
+// explicitly and the process exits 4.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"os/signal"
 	"sort"
 	"strings"
@@ -27,6 +33,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	fig := flag.String("fig", "4", `figure: "4", "5", "bw", "headline", or "policies"`)
@@ -34,6 +44,8 @@ func main() {
 	full := flag.Bool("full", false, "use the paper-scale machine (slower)")
 	workloadsFlag := flag.String("workloads", "", "comma-separated workload subset (default: all 72)")
 	store := flag.String("store", zcache.DefaultStoreDir, "runlab result store for incremental reruns (\"\" recomputes everything)")
+	check := flag.Bool("check", false, "enable simulator invariant checks (MESI, inclusion, walk legality)")
+	quarantine := flag.Bool("quarantine", false, "render partial figures past failing cells; exit 4 when cells are missing")
 	var pf prof.Flags
 	pf.Register(flag.CommandLine)
 	flag.Parse()
@@ -81,37 +93,81 @@ func main() {
 		log.Fatalf("unknown policy %q", *policy)
 	}
 	e := zcache.NewExperiment(preset)
+	e.Check = *check
+	e.Quarantine = *quarantine
 	if *store != "" {
 		if _, err := e.AttachStore(*store); err != nil {
 			log.Fatal(err)
 		}
 		e.Lab.Label = "figures/" + *fig + "/" + *policy
 	}
+	var missing int
 	switch *fig {
 	case "4":
-		fig4(ctx, e, pol, subset)
+		missing = fig4(ctx, e, pol, subset)
 	case "5":
-		fig5(ctx, e, pol)
+		missing = fig5(ctx, e, pol)
 	case "bw":
-		bandwidth(ctx, e)
+		missing = bandwidth(ctx, e)
 	case "headline":
-		headline(ctx, e)
+		missing = headline(ctx, e)
 	case "policies":
-		policyStudy(ctx, e)
+		missing = policyStudy(ctx, e)
 	default:
 		log.Fatalf("unknown figure %q", *fig)
 	}
+	if missing > 0 {
+		log.Printf("%d matrix cell(s) missing — figure above is partial", missing)
+		return 4
+	}
+	return 0
+}
+
+// partial separates graceful-degradation errors from fatal ones: a
+// *zcache.MatrixError means the matrix completed with quarantined holes
+// and the figure should render what it has.
+func partial(err error) *zcache.MatrixError {
+	var merr *zcache.MatrixError
+	if errors.As(err, &merr) {
+		return merr
+	}
+	return nil
+}
+
+// reportMissing annotates a partial figure with exactly which cells are
+// absent and why, so a rendered figure can never silently drop data.
+// Returns the number of missing cells.
+func reportMissing(merr *zcache.MatrixError) int {
+	if merr == nil {
+		return 0
+	}
+	fmt.Printf("\nMISSING CELLS (%d — quarantined, not rendered):\n", len(merr.Missing))
+	t := stats.NewTable("workload", "design", "policy", "lookup", "reason")
+	for _, m := range merr.Missing {
+		reason := m.Reason
+		if reason == "" {
+			reason = "not computed"
+		}
+		t.AddRow(m.Workload, m.Design, m.Policy.String(), m.Lookup.String(), reason)
+	}
+	fmt.Print(t.String())
+	return len(merr.Missing)
 }
 
 // policyStudy fixes the array (Z4/52) and sweeps replacement policies — the
 // §II/§VIII orthogonality experiment the paper defers.
-func policyStudy(ctx context.Context, e *zcache.Experiment) {
+func policyStudy(ctx context.Context, e *zcache.Experiment) int {
 	fmt.Printf("Policy study (Z4/52 array fixed, %s preset): per-workload IPC and MPKI\n", e.Preset.Name)
 	fmt.Println("improvements vs the same array under bucketed LRU, sorted per policy.")
 	policies := []sim.Policy{sim.PolicyLRU, sim.PolicySRRIP, sim.PolicyDRRIP, sim.PolicyLFU, sim.PolicyRandom}
 	lines, err := e.PolicyStudy(ctx, nil, policies)
-	if err != nil {
+	merr := partial(err)
+	if err != nil && merr == nil {
 		log.Fatal(err)
+	}
+	if len(lines) == 0 || len(lines[0].IPCImprovement) == 0 {
+		fmt.Println("\n(no complete policy lines to render)")
+		return reportMissing(merr)
 	}
 	header := []string{"workload#"}
 	for _, l := range lines {
@@ -120,7 +176,14 @@ func policyStudy(ctx context.Context, e *zcache.Experiment) {
 	for _, metric := range []string{"MPKI", "IPC"} {
 		fmt.Printf("\n%s improvement vs bucketed LRU:\n", metric)
 		t := stats.NewTable(header...)
+		// A partial matrix can leave policies with uneven line lengths;
+		// render only the indices every policy has.
 		n := len(lines[0].IPCImprovement)
+		for _, l := range lines {
+			if len(l.IPCImprovement) < n {
+				n = len(l.IPCImprovement)
+			}
+		}
 		step := n / 12
 		if step == 0 {
 			step = 1
@@ -141,13 +204,15 @@ func policyStudy(ctx context.Context, e *zcache.Experiment) {
 	fmt.Println("\nThe array supplies 52 candidates regardless; the policy decides what they")
 	fmt.Println("are worth. Random pays for ignoring recency; DRRIP's dueling insertion is")
 	fmt.Println("the §VIII direction (a policy that needs no set ordering).")
+	return reportMissing(merr)
 }
 
-func fig4(ctx context.Context, e *zcache.Experiment, pol sim.Policy, subset []string) {
+func fig4(ctx context.Context, e *zcache.Experiment, pol sim.Policy, subset []string) int {
 	fmt.Printf("Fig. 4 (%v, %s preset): improvements over the serial SA-4+H3 baseline.\n", pol, e.Preset.Name)
 	fmt.Println("Workloads sorted per design (x-axis of the paper's monotone lines).")
 	lines, err := e.Fig4(ctx, subset, pol)
-	if err != nil {
+	merr := partial(err)
+	if err != nil && merr == nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nL2 MPKI improvement (baseline/design; >1 = fewer misses):")
@@ -163,13 +228,25 @@ func fig4(ctx context.Context, e *zcache.Experiment, pol sim.Policy, subset []st
 		}
 		fmt.Printf("%-6s: IPC worse than baseline on %d/%d workloads\n", l.Design.Label, worse, len(l.IPCImprovement))
 	}
+	return reportMissing(merr)
 }
 
 func printLines(lines []zcache.Fig4Line, get func(zcache.Fig4Line) []float64) {
 	if len(lines) == 0 {
 		return
 	}
+	// Quarantined cells can leave designs with uneven line lengths;
+	// render only the indices every design has.
 	n := len(get(lines[0]))
+	for _, l := range lines {
+		if len(get(l)) < n {
+			n = len(get(l))
+		}
+	}
+	if n == 0 {
+		fmt.Println("(no complete lines to render)")
+		return
+	}
 	header := []string{"workload#"}
 	for _, l := range lines {
 		header = append(header, l.Design.Label)
@@ -195,10 +272,11 @@ func printLines(lines []zcache.Fig4Line, get func(zcache.Fig4Line) []float64) {
 	fmt.Print(t.String())
 }
 
-func fig5(ctx context.Context, e *zcache.Experiment, pol sim.Policy) {
+func fig5(ctx context.Context, e *zcache.Experiment, pol sim.Policy) int {
 	fmt.Printf("Fig. 5 (%v, %s preset): IPC and BIPS/W vs the serial SA-4+H3 baseline.\n\n", pol, e.Preset.Name)
 	cells, err := e.Fig5(ctx, nil, pol)
-	if err != nil {
+	merr := partial(err)
+	if err != nil && merr == nil {
 		log.Fatal(err)
 	}
 	sort.SliceStable(cells, func(i, j int) bool {
@@ -215,12 +293,14 @@ func fig5(ctx context.Context, e *zcache.Experiment, pol sim.Policy) {
 		t.AddRow(c.Workload, c.Design.Label, c.Lookup.String(), c.IPCGain, c.EffGain)
 	}
 	fmt.Print(t.String())
+	return reportMissing(merr)
 }
 
-func bandwidth(ctx context.Context, e *zcache.Experiment) {
+func bandwidth(ctx context.Context, e *zcache.Experiment) int {
 	fmt.Printf("§VI-D (Z4/52, bucketed LRU, %s preset): per-bank array load.\n\n", e.Preset.Name)
 	pts, err := e.Bandwidth(ctx, nil)
-	if err != nil {
+	merr := partial(err)
+	if err != nil && merr == nil {
 		log.Fatal(err)
 	}
 	sort.Slice(pts, func(i, j int) bool { return pts[i].DemandLoad > pts[j].DemandLoad })
@@ -253,12 +333,14 @@ func bandwidth(ctx context.Context, e *zcache.Experiment) {
 			n, hiMissLoad/float64(n), hiMissTag/float64(n))
 		fmt.Println("(paper at 0.005 misses/cyc/bank: demand 0.035, total tag 0.092 — the system self-throttles)")
 	}
+	return reportMissing(merr)
 }
 
-func headline(ctx context.Context, e *zcache.Experiment) {
+func headline(ctx context.Context, e *zcache.Experiment) int {
 	fmt.Printf("Headline claims (§I, §VIII) under bucketed LRU, %s preset:\n\n", e.Preset.Name)
 	cells, err := e.Fig5(ctx, nil, sim.PolicyBucketedLRU)
-	if err != nil {
+	merr := partial(err)
+	if err != nil && merr == nil {
 		log.Fatal(err)
 	}
 	find := func(w, d string, lk string) (zcache.Fig5Cell, bool) {
@@ -280,4 +362,5 @@ func headline(ctx context.Context, e *zcache.Experiment) {
 		t.AddRow("Z4/52 vs SA-4 (all workloads)", c.IPCGain, c.EffGain, "1.07", "1.03")
 	}
 	fmt.Print(t.String())
+	return reportMissing(merr)
 }

@@ -5,15 +5,20 @@
 //	runlab run [-preset quick] [-suite all] [-policy lru] ...  # populate the store
 //	runlab status                                              # store + run history
 //	runlab gc                                                  # drop stale/corrupt records
+//	runlab repair                                              # rewrite corrupt shards
 //
 // `run` checkpoints completed cells as it goes; Ctrl-C (or a crash)
 // loses at most one flush interval of work, and re-invoking the same
 // command resumes from the cells already on disk. A fully warm rerun
 // performs zero simulations.
+//
+// Exit codes: 0 success, 1 error, 2 usage, 3 store corruption detected,
+// 4 cells quarantined (partial results).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -25,11 +30,20 @@ import (
 	"time"
 
 	"zcache"
+	"zcache/internal/failpoint"
 	"zcache/internal/prof"
 	"zcache/internal/runlab"
 	"zcache/internal/sim"
 	"zcache/internal/stats"
 )
+
+// exitErr carries a specific process exit code alongside the message.
+type exitErr struct {
+	code int
+	msg  string
+}
+
+func (e *exitErr) Error() string { return e.msg }
 
 func main() {
 	log.SetFlags(0)
@@ -48,6 +62,8 @@ func main() {
 		err = cmdStatus(os.Args[2:])
 	case "gc":
 		err = cmdGC(os.Args[2:])
+	case "repair":
+		err = cmdRepair(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -55,7 +71,12 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		var xe *exitErr
+		if errors.As(err, &xe) {
+			os.Exit(xe.code)
+		}
+		os.Exit(1)
 	}
 }
 
@@ -67,6 +88,7 @@ verbs:
   bench   measure the simulation kernel, writing BENCH_kernel.json
   status  show store contents and run history
   gc      compact the store, dropping stale-schema and corrupt records
+  repair  rewrite corrupt shards from surviving records
 
 run flags:
   -store DIR      result store (default %s)
@@ -76,6 +98,15 @@ run flags:
   -workloads LIST comma-separated workload subset (default: all 72)
   -workers N      concurrent cells (default GOMAXPROCS)
   -flush-every N  checkpoint interval in cells (default 16)
+  -check          enable simulator invariant checks (MESI, inclusion, walk legality)
+  -quarantine     keep running past persistently failing cells; exit 4 with partial results
+  -durable        fsync store appends and flushes (crash-consistent checkpoints)
+  -strict         treat any corrupt store record as fatal instead of tolerating it
+  -max-attempts N attempts per cell before it fails/quarantines (default 2)
+  -cell-timeout D per-attempt deadline, e.g. 90s (default none)
+  -backoff D      base retry backoff, doubled per retry with deterministic jitter (default 0)
+  -failpoints SPEC  fault injection, e.g. 'runlab/compute=panic:p=0.2;runlab/store/append=torn'
+  -fail-seed N    deterministic seed for failpoint coin flips (default 1)
 
 bench flags:
   -out FILE        report destination (default BENCH_kernel.json; '-' = stdout)
@@ -134,9 +165,26 @@ func cmdRun(args []string) error {
 	workloadsFlag := fs.String("workloads", "", "comma-separated workload subset")
 	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
 	flushEvery := fs.Int("flush-every", 0, "checkpoint interval in cells (0 = default)")
+	checkFlag := fs.Bool("check", false, "enable simulator invariant checks")
+	quarantine := fs.Bool("quarantine", false, "quarantine failing cells instead of aborting the run")
+	durable := fs.Bool("durable", false, "fsync store appends and flushes")
+	strict := fs.Bool("strict", false, "treat corrupt store records as fatal")
+	maxAttempts := fs.Int("max-attempts", 0, "attempts per cell (0 = default 2)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-attempt deadline (0 = none)")
+	backoff := fs.Duration("backoff", 0, "base retry backoff (0 = immediate retry)")
+	failpoints := fs.String("failpoints", "", "failpoint spec, e.g. 'name=mode:p=0.5;...'")
+	failSeed := fs.Uint64("fail-seed", 1, "seed for deterministic failpoint firing")
 	var pf prof.Flags
 	pf.Register(fs)
 	fs.Parse(args)
+
+	if *failpoints != "" {
+		if err := failpoint.Configure(*failpoints, *failSeed); err != nil {
+			return err
+		}
+		defer failpoint.Reset()
+		log.Printf("failpoints armed (seed %d): %s", *failSeed, *failpoints)
+	}
 
 	stopProf, err := pf.Start()
 	if err != nil {
@@ -169,12 +217,17 @@ func cmdRun(args []string) error {
 	defer stop()
 
 	e := zcache.NewExperiment(preset)
-	st, err := e.AttachStore(*store)
+	st, err := e.AttachStoreOptions(*store, runlab.Options{Durable: *durable, Strict: *strict})
 	if err != nil {
 		return err
 	}
+	e.Check = *checkFlag
+	e.Quarantine = *quarantine
 	e.Lab.Workers = *workers
 	e.Lab.FlushEvery = *flushEvery
+	e.Lab.MaxAttempts = *maxAttempts
+	e.Lab.CellTimeout = *cellTimeout
+	e.Lab.BackoffBase = *backoff
 	e.Lab.OnProgress = progressPrinter()
 
 	before, err := st.Stats()
@@ -184,6 +237,7 @@ func cmdRun(args []string) error {
 	log.Printf("store %s: %d cells on disk", *store, before.Cells)
 
 	start := time.Now()
+	missingTotal := 0
 	for _, name := range suites {
 		e.Lab.Label = name + "/" + *policyFlag
 		switch strings.TrimSpace(name) {
@@ -207,6 +261,15 @@ func cmdRun(args []string) error {
 		default:
 			return fmt.Errorf("unknown suite %q", name)
 		}
+		var merr *zcache.MatrixError
+		if err != nil && errors.As(err, &merr) {
+			// Quarantine mode: the suite completed with holes. Report
+			// them and keep going — remaining suites may still be whole.
+			clearProgressLine()
+			logMissing(strings.TrimSpace(name), merr)
+			missingTotal += len(merr.Missing)
+			err = nil
+		}
 		if err != nil {
 			clearProgressLine()
 			if ctx.Err() != nil {
@@ -224,7 +287,25 @@ func cmdRun(args []string) error {
 	log.Printf("suite complete in %s: %d cells (last matrix: %d cached, %d computed); store now %d cells / %d shards / %.1f MB",
 		time.Since(start).Round(time.Millisecond), after.Cells, p.Cached, p.Computed,
 		after.Cells, after.Shards, float64(after.Bytes)/1e6)
+	if missingTotal > 0 {
+		return &exitErr{code: 4, msg: fmt.Sprintf("%d cell(s) quarantined; results are partial (rerun to retry, `runlab status` for history)", missingTotal)}
+	}
+	if after.Corrupt > 0 {
+		return &exitErr{code: 3, msg: fmt.Sprintf("%d corrupt store line(s) detected; `runlab repair` rewrites the damaged shards", after.Corrupt)}
+	}
 	return nil
+}
+
+// logMissing reports every quarantined/missing matrix cell of one suite.
+func logMissing(suite string, merr *zcache.MatrixError) {
+	log.Printf("%s: %d cell(s) missing after quarantine:", suite, len(merr.Missing))
+	for _, m := range merr.Missing {
+		reason := m.Reason
+		if reason == "" {
+			reason = "not computed"
+		}
+		log.Printf("  %s %s %v/%v: %s", m.Workload, m.Design, m.Policy, m.Lookup, reason)
+	}
 }
 
 // progressPrinter writes a throttled single-line progress meter to
@@ -240,8 +321,12 @@ func progressPrinter() func(runlab.Progress) {
 		if p.ETA > 0 {
 			eta = p.ETA.Round(time.Second).String()
 		}
-		fmt.Fprintf(os.Stderr, "\r\033[Kcells %d/%d (cached %d, computed %d, failed %d)  %.1f cells/s  ETA %s",
-			p.Done, p.Total, p.Cached, p.Computed, p.Failed, p.CellsPerSec, eta)
+		quar := ""
+		if p.Quarantined > 0 {
+			quar = fmt.Sprintf(", quarantined %d", p.Quarantined)
+		}
+		fmt.Fprintf(os.Stderr, "\r\033[Kcells %d/%d (cached %d, computed %d, failed %d%s)  %.1f cells/s  ETA %s",
+			p.Done, p.Total, p.Cached, p.Computed, p.Failed, quar, p.CellsPerSec, eta)
 	}
 }
 
@@ -251,9 +336,10 @@ func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	store := fs.String("store", zcache.DefaultStoreDir, "result store directory")
 	manifestTail := fs.Int("runs", 10, "manifest entries to show")
+	strict := fs.Bool("strict", false, "treat corrupt store records as fatal while loading")
 	fs.Parse(args)
 
-	st, err := runlab.Open(*store)
+	st, err := runlab.OpenWith(*store, runlab.Options{Strict: *strict})
 	if err != nil {
 		return err
 	}
@@ -285,7 +371,10 @@ func cmdStatus(args []string) error {
 		}
 	}
 	if stale > 0 || s.Corrupt > 0 {
-		fmt.Printf("\n%d stale-schema and %d corrupt records; `runlab gc` reclaims them\n", stale, s.Corrupt)
+		fmt.Printf("\n%d stale-schema and %d corrupt records; `runlab gc` reclaims stale, `runlab repair` rewrites corrupt shards\n", stale, s.Corrupt)
+	}
+	if shards := st.CorruptShards(); len(shards) > 0 {
+		fmt.Printf("corrupt shards: %s\n", strings.Join(shards, ", "))
 	}
 	entries, err := st.Manifest()
 	if err != nil {
@@ -296,13 +385,16 @@ func cmdStatus(args []string) error {
 			entries = entries[len(entries)-*manifestTail:]
 		}
 		fmt.Printf("\nlast %d runs:\n", len(entries))
-		mt := stats.NewTable("started", "label", "preset", "git", "total", "cached", "computed", "failed", "wall")
+		mt := stats.NewTable("started", "label", "preset", "git", "total", "cached", "computed", "failed", "quar", "corrupt", "wall")
 		for _, e := range entries {
 			mt.AddRow(e.StartedAt.Format("2006-01-02 15:04:05"), e.Label, e.Preset, e.GitRev,
-				e.Total, e.Cached, e.Computed, e.Failed,
+				e.Total, e.Cached, e.Computed, e.Failed, e.Quarantined, e.Corrupt,
 				(time.Duration(e.WallSeconds * float64(time.Second))).Round(time.Millisecond).String())
 		}
 		fmt.Print(mt.String())
+	}
+	if s.Corrupt > 0 {
+		return &exitErr{code: 3, msg: fmt.Sprintf("%d corrupt store line(s); `runlab repair` rewrites the damaged shards", s.Corrupt)}
 	}
 	return nil
 }
@@ -336,5 +428,29 @@ func cmdGC(args []string) error {
 	}
 	fmt.Printf("gc: kept %d, dropped %d stale, removed %d corrupt lines; %.1f MB -> %.1f MB\n",
 		kept, dropped, before.Corrupt, float64(before.Bytes)/1e6, float64(after.Bytes)/1e6)
+	return nil
+}
+
+// cmdRepair rewrites only the shards that held corrupt lines, keeping
+// every record that survived, and reports what was reclaimed.
+func cmdRepair(args []string) error {
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	store := fs.String("store", zcache.DefaultStoreDir, "result store directory")
+	durable := fs.Bool("durable", true, "fsync the rewritten shards")
+	fs.Parse(args)
+
+	st, err := runlab.OpenWith(*store, runlab.Options{Durable: *durable})
+	if err != nil {
+		return err
+	}
+	if shards := st.CorruptShards(); len(shards) > 0 {
+		fmt.Printf("corrupt shards: %s\n", strings.Join(shards, ", "))
+	}
+	rep, err := st.Repair()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repair: scanned %d shard(s), rewrote %d, kept %d record(s), dropped %d corrupt line(s)\n",
+		rep.ShardsScanned, rep.ShardsRewritten, rep.RecordsKept, rep.LinesDropped)
 	return nil
 }

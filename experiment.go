@@ -104,6 +104,15 @@ type Experiment struct {
 	// resumes and a warm rerun performs zero simulations. Attach one
 	// with AttachStore, or set it directly to control runner knobs.
 	Lab *runlab.Runner
+	// Check enables the simulator invariant checker on every cell
+	// (sim.Config.Check): candidate trees are validated per miss and
+	// MESI/directory/inclusion invariants at phase boundaries. Checking
+	// does not alter results and is excluded from cell fingerprints.
+	Check bool
+	// Quarantine makes RunMatrix set persistently failing cells aside
+	// and finish the rest, returning partial results plus a *MatrixError
+	// naming the missing cells, instead of aborting on first failure.
+	Quarantine bool
 
 	mu       sync.Mutex
 	captures map[string]*captureSlot
@@ -133,6 +142,7 @@ func (e *Experiment) config(d DesignPoint, pol sim.Policy, lk energy.Lookup) sim
 	cfg.InstructionsPerCore = e.Preset.InstructionsPerCore
 	cfg.WarmupInstructionsPerCore = e.Preset.WarmupInstructionsPerCore
 	cfg.Seed = e.Preset.Seed
+	cfg.Check = e.Check
 	return cfg
 }
 
@@ -200,12 +210,52 @@ type MatrixCell struct {
 	Lookup   energy.Lookup
 }
 
+// MissingCell identifies one quarantined matrix cell and why it was lost.
+type MissingCell struct {
+	Index    int
+	Workload string
+	Design   string
+	Policy   sim.Policy
+	Lookup   energy.Lookup
+	Reason   string
+}
+
+// MatrixError reports a matrix run that completed with some cells
+// quarantined. The accompanying results slice is valid for every cell
+// not listed here (missing cells hold the zero RunResult, recognizable
+// by an empty Workload); figure builders degrade to partial output and
+// propagate this error so callers can annotate what is absent.
+type MatrixError struct {
+	Missing []MissingCell
+}
+
+func (e *MatrixError) Error() string {
+	return fmt.Sprintf("zcache: %d matrix cell(s) missing after quarantine", len(e.Missing))
+}
+
+// present reports whether a matrix result slot holds a real result (a
+// quarantined cell leaves the zero RunResult behind).
+func present(r RunResult) bool { return r.Workload != "" }
+
+// asMatrixError extracts a *MatrixError, if err is one.
+func asMatrixError(err error) (*MatrixError, bool) {
+	var m *MatrixError
+	if errors.As(err, &m) {
+		return m, true
+	}
+	return nil, false
+}
+
 // RunMatrix executes cells across a worker pool and returns results in cell
-// order. The first error cancels the context and aborts outstanding cells
-// (cells already running complete; queued cells never start). When a runlab
-// runner is attached (AttachStore / Lab), cells are served from the
-// content-addressed store where possible and computed cells are
-// checkpointed, making the whole matrix resumable.
+// order. By default the first error cancels the context and aborts
+// outstanding cells (cells already running complete; queued cells never
+// start); with Quarantine set, failing cells are set aside instead and the
+// run finishes, returning partial results plus a *MatrixError. Worker
+// panics (including invariant violations from -check mode) are recovered
+// into cell errors either way. When a runlab runner is attached
+// (AttachStore / Lab), cells are served from the content-addressed store
+// where possible and computed cells are checkpointed, making the whole
+// matrix resumable.
 func (e *Experiment) RunMatrix(ctx context.Context, cells []MatrixCell) ([]RunResult, error) {
 	if e.Lab != nil {
 		return e.runMatrixLab(ctx, cells)
@@ -230,14 +280,32 @@ func (e *Experiment) RunMatrix(ctx context.Context, cells []MatrixCell) ([]RunRe
 					continue
 				}
 				c := cells[i]
-				results[i], errs[i] = e.Run(c.Workload, c.Design, c.Policy, c.Lookup)
-				if errs[i] != nil {
+				results[i], errs[i] = e.runCellSafe(c)
+				if errs[i] != nil && !e.Quarantine {
 					cancel()
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if e.Quarantine {
+		var missing []MissingCell
+		for i, err := range errs {
+			if err == nil || errors.Is(err, context.Canceled) {
+				continue
+			}
+			c := cells[i]
+			missing = append(missing, MissingCell{Index: i, Workload: c.Workload.Name,
+				Design: c.Design.Label, Policy: c.Policy, Lookup: c.Lookup, Reason: err.Error()})
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if len(missing) > 0 {
+			return results, &MatrixError{Missing: missing}
+		}
+		return results, nil
+	}
 	// Report the first real failure, not a cancellation casualty.
 	for _, err := range errs {
 		if err != nil && !errors.Is(err, context.Canceled) {
@@ -248,6 +316,22 @@ func (e *Experiment) RunMatrix(ctx context.Context, cells []MatrixCell) ([]RunRe
 		return nil, err
 	}
 	return results, nil
+}
+
+// runCellSafe runs one cell with panic recovery, so one poisoned cell (a
+// simulator invariant violation, an array bug) surfaces as an error
+// instead of taking the whole process down.
+func (e *Experiment) runCellSafe(c MatrixCell) (r RunResult, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rerr, ok := rec.(error); ok {
+				err = fmt.Errorf("cell %s/%s panicked: %w", c.Workload.Name, c.Design.Label, rerr)
+			} else {
+				err = fmt.Errorf("cell %s/%s panicked: %v", c.Workload.Name, c.Design.Label, rec)
+			}
+		}
+	}()
+	return e.Run(c.Workload, c.Design, c.Policy, c.Lookup)
 }
 
 // SuiteWorkloads returns the named subset of the 72-workload suite (all of
@@ -294,13 +378,19 @@ func (e *Experiment) Fig4(ctx context.Context, names []string, pol sim.Policy) (
 		}
 	}
 	res, err := e.RunMatrix(ctx, cells)
-	if err != nil {
+	merr, partial := asMatrixError(err)
+	if err != nil && !partial {
 		return nil, err
 	}
-	// Index results: res is in cell order (workload-major).
+	// Index results: res is in cell order (workload-major). Quarantined
+	// cells are absent from the maps, so every comparison below pairs
+	// only cells that actually completed.
 	perDesign := map[string][]RunResult{}
 	baseline := map[string]RunResult{}
 	for i, r := range res {
+		if !present(r) {
+			continue
+		}
 		d := cells[i].Design
 		if d.Label == "SA-4" {
 			baseline[r.Workload] = r
@@ -312,13 +402,19 @@ func (e *Experiment) Fig4(ctx context.Context, names []string, pol sim.Policy) (
 	for _, d := range Fig4Designs() {
 		line := Fig4Line{Design: d}
 		for _, r := range perDesign[d.Label] {
-			b := baseline[r.Workload]
+			b, ok := baseline[r.Workload]
+			if !ok {
+				continue // baseline cell quarantined: no ratio to plot
+			}
 			line.MPKIImprovement = append(line.MPKIImprovement, safeRatio(b.MPKI(), r.MPKI()))
 			line.IPCImprovement = append(line.IPCImprovement, safeRatio(r.IPC(), b.IPC()))
 		}
 		sort.Float64s(line.MPKIImprovement)
 		sort.Float64s(line.IPCImprovement)
 		lines = append(lines, line)
+	}
+	if merr != nil {
+		return lines, merr
 	}
 	return lines, nil
 }
@@ -369,7 +465,8 @@ func (e *Experiment) Fig5(ctx context.Context, names []string, pol sim.Policy) (
 		}
 	}
 	res, err := e.RunMatrix(ctx, cells)
-	if err != nil {
+	merr, partial := asMatrixError(err)
+	if err != nil && !partial {
 		return nil, err
 	}
 	type key struct {
@@ -378,10 +475,16 @@ func (e *Experiment) Fig5(ctx context.Context, names []string, pol sim.Policy) (
 	}
 	byKey := map[key]RunResult{}
 	for _, r := range res {
+		if !present(r) {
+			continue
+		}
 		byKey[key{r.Workload, r.Design.Label, r.Lookup}] = r
 	}
 	// Baseline is serial SA-4.
-	base := func(w string) RunResult { return byKey[key{w, "SA-4", energy.Serial}] }
+	base := func(w string) (RunResult, bool) {
+		r, ok := byKey[key{w, "SA-4", energy.Serial}]
+		return r, ok
+	}
 
 	// Per-class membership for the §VI-C breakdown.
 	classOf := map[string]string{}
@@ -389,10 +492,14 @@ func (e *Experiment) Fig5(ctx context.Context, names []string, pol sim.Policy) (
 		classOf[w.Name] = w.Class.String()
 	}
 
-	// Top-10 miss-intensive workloads by baseline MPKI (§VI).
+	// Top-10 miss-intensive workloads by baseline MPKI (§VI). A
+	// quarantined baseline scores 0, keeping the workload out of the
+	// top-K set rather than failing the figure.
 	mpki := make([]float64, len(ws))
 	for i, w := range ws {
-		mpki[i] = base(w.Name).MPKI()
+		if b, ok := base(w.Name); ok {
+			mpki[i] = b.MPKI()
+		}
 	}
 	topK := 10
 	if topK > len(ws) {
@@ -414,8 +521,11 @@ func (e *Experiment) Fig5(ctx context.Context, names []string, pol sim.Policy) (
 			classIPC := map[string][]float64{}
 			classEff := map[string][]float64{}
 			for _, w := range ws {
-				r := byKey[key{w.Name, d.Label, lk}]
-				b := base(w.Name)
+				r, okR := byKey[key{w.Name, d.Label, lk}]
+				b, okB := base(w.Name)
+				if !okR || !okB {
+					continue // cell or its baseline quarantined
+				}
 				ipcGain := safeRatio(r.IPC(), b.IPC())
 				effGain := safeRatio(r.Eval.BIPSPerW, b.Eval.BIPSPerW)
 				allIPC = append(allIPC, ipcGain)
@@ -433,15 +543,17 @@ func (e *Experiment) Fig5(ctx context.Context, names []string, pol sim.Policy) (
 					}
 				}
 			}
-			gAllIPC, err := stats.GeoMean(allIPC)
-			if err != nil {
-				return nil, err
+			if len(allIPC) > 0 {
+				gAllIPC, err := stats.GeoMean(allIPC)
+				if err != nil {
+					return nil, err
+				}
+				gAllEff, err := stats.GeoMean(allEff)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Fig5Cell{Workload: "geomean-all", Design: d, Lookup: lk, IPCGain: gAllIPC, EffGain: gAllEff})
 			}
-			gAllEff, err := stats.GeoMean(allEff)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig5Cell{Workload: "geomean-all", Design: d, Lookup: lk, IPCGain: gAllIPC, EffGain: gAllEff})
 			for cl, gains := range classIPC {
 				if len(gains) == 0 {
 					continue
@@ -468,6 +580,9 @@ func (e *Experiment) Fig5(ctx context.Context, names []string, pol sim.Policy) (
 				out = append(out, Fig5Cell{Workload: "geomean-top10", Design: d, Lookup: lk, IPCGain: gTopIPC, EffGain: gTopEff})
 			}
 		}
+	}
+	if merr != nil {
+		return out, merr
 	}
 	return out, nil
 }
@@ -499,12 +614,16 @@ func (e *Experiment) PolicyStudy(ctx context.Context, names []string, policies [
 		}
 	}
 	res, err := e.RunMatrix(ctx, cells)
-	if err != nil {
+	merr, partial := asMatrixError(err)
+	if err != nil && !partial {
 		return nil, err
 	}
 	base := map[string]RunResult{}
 	perPolicy := map[sim.Policy][]RunResult{}
 	for i, r := range res {
+		if !present(r) {
+			continue
+		}
 		if cells[i].Policy == ref {
 			base[r.Workload] = r
 		} else {
@@ -515,13 +634,19 @@ func (e *Experiment) PolicyStudy(ctx context.Context, names []string, policies [
 	for _, p := range policies {
 		line := PolicyStudyLine{Policy: p}
 		for _, r := range perPolicy[p] {
-			b := base[r.Workload]
+			b, ok := base[r.Workload]
+			if !ok {
+				continue // reference cell quarantined
+			}
 			line.IPCImprovement = append(line.IPCImprovement, safeRatio(r.IPC(), b.IPC()))
 			line.MPKIImprovement = append(line.MPKIImprovement, safeRatio(b.MPKI(), r.MPKI()))
 		}
 		sort.Float64s(line.IPCImprovement)
 		sort.Float64s(line.MPKIImprovement)
 		out = append(out, line)
+	}
+	if merr != nil {
+		return out, merr
 	}
 	return out, nil
 }
@@ -551,11 +676,15 @@ func (e *Experiment) Bandwidth(ctx context.Context, names []string) ([]Bandwidth
 		cells = append(cells, MatrixCell{Workload: w, Design: d, Policy: sim.PolicyBucketedLRU, Lookup: energy.Serial})
 	}
 	res, err := e.RunMatrix(ctx, cells)
-	if err != nil {
+	merr, partial := asMatrixError(err)
+	if err != nil && !partial {
 		return nil, err
 	}
 	var out []BandwidthPoint
 	for _, r := range res {
+		if !present(r) {
+			continue
+		}
 		mpcb := 0.0
 		if r.Metrics.Counts.Cycles > 0 {
 			mpcb = float64(r.Metrics.Counts.L2Misses) / float64(r.Metrics.Counts.Cycles) / float64(e.Preset.L2Banks)
@@ -566,6 +695,9 @@ func (e *Experiment) Bandwidth(ctx context.Context, names []string) ([]Bandwidth
 			TagLoad:               r.Metrics.BankTagLoad,
 			MissesPerCyclePerBank: mpcb,
 		})
+	}
+	if merr != nil {
+		return out, merr
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"zcache/internal/check"
 	"zcache/internal/repl"
 	"zcache/internal/trace"
 )
@@ -48,6 +49,11 @@ type Cache struct {
 	// flat arrays; equivalence tests use it to check the fast path against
 	// the reference behaviour.
 	noFastPath bool
+
+	// strictCheck validates every candidate tree on the miss path
+	// (EnableChecks); disabled it costs one predictable branch per miss
+	// and nothing on hits.
+	strictCheck bool
 
 	// OnEviction, if set, is called with each evicted line's byte address
 	// and dirtiness before the new line is installed. Inclusive
@@ -282,7 +288,9 @@ func (c *Cache) installFlat(line uint64, write bool) {
 	c.validIDs = ids
 	sel := c.sel(ids)
 	if sel == repl.NoVictim {
-		panic("cache: no installable victim among candidates")
+		panic(check.Violationf("cache/no-victim",
+			"%s: policy refused all %d flat candidates for line %#x",
+			c.array.Name(), len(ids), line))
 	}
 	id := ids[sel]
 	e := &tags.e[id]
@@ -319,6 +327,11 @@ func (c *Cache) finishFlat(id repl.BlockID, oldAddr uint64, oldValid bool, line 
 func (c *Cache) install(line uint64, write bool) {
 	c.candBuf = c.array.Candidates(line, c.candBuf[:0])
 	cands := c.candBuf
+	if c.strictCheck {
+		if v := c.checkCandidates(line, cands); v != nil {
+			panic(v)
+		}
+	}
 
 	// Prefer an empty slot: the walk stops at the first one it finds, so
 	// scan for any invalid candidate (no eviction needed).
@@ -360,7 +373,9 @@ func (c *Cache) install(line uint64, write bool) {
 			if victim < 0 {
 				// Every candidate excluded — impossible for
 				// level-1 candidates, so this is a bug.
-				panic("cache: no installable victim among candidates")
+				panic(check.Violationf("cache/no-victim",
+					"%s: no installable victim among %d candidates for line %#x",
+					c.array.Name(), len(cands), line))
 			}
 		}
 		moves, err := c.installArray(line, cands, victim)
@@ -371,7 +386,8 @@ func (c *Cache) install(line uint64, write bool) {
 			continue
 		}
 		if err != nil {
-			panic(fmt.Sprintf("cache: install failed: %v", err))
+			panic(check.Violationf("cache/install",
+				"%s: install of line %#x failed: %v", c.array.Name(), line, err))
 		}
 		c.finishInstall(line, cands, victim, moves, write)
 		return
@@ -464,6 +480,84 @@ func (c *Cache) finishInstall(line uint64, cands []Candidate, victim int, moves 
 	id := cands[root].ID
 	c.onInsert(id, line)
 	c.dirty[id] = write
+}
+
+// EnableChecks toggles strict miss-path validation: every candidate tree
+// produced by the array is checked for structural legality before a
+// victim is selected, and a malformed tree panics with *check.Violation
+// (which run engines recover and quarantine). Hits are unaffected; a
+// disabled check costs one branch per miss.
+func (c *Cache) EnableChecks(on bool) { c.strictCheck = on }
+
+// tags returns the indexed array's tag store geometry when the array is
+// one of the shipped tagStore-backed designs, for slot-arithmetic checks.
+func (c *Cache) tags() *tagStore {
+	switch {
+	case c.saFast != nil:
+		return &c.saFast.tags
+	case c.skFast != nil:
+		return &c.skFast.tags
+	case c.zFast != nil:
+		return &c.zFast.tags
+	default:
+		return nil
+	}
+}
+
+// checkCandidates validates the structural invariants of a candidate
+// forest (§III-A): level-1 candidates are roots, deeper candidates link
+// to an earlier candidate exactly one level up, slot IDs agree with the
+// way/row arithmetic, in-range IDs, and no two level-1 candidates share a
+// slot (walk repeats are legal deeper in the tree — Install catches
+// cycles — but the first level is one slot per way by construction).
+func (c *Cache) checkCandidates(line uint64, cands []Candidate) *check.Violation {
+	if len(cands) == 0 {
+		return check.Violationf("cache/walk-tree",
+			"%s: empty candidate set for line %#x", c.array.Name(), line)
+	}
+	tags := c.tags()
+	blocks := c.array.Blocks()
+	for i := range cands {
+		cd := &cands[i]
+		if int(cd.ID) < 0 || int(cd.ID) >= blocks {
+			return check.Violationf("cache/walk-tree",
+				"%s: candidate %d slot %d outside [0,%d)", c.array.Name(), i, cd.ID, blocks)
+		}
+		if tags != nil && tags.slot(cd.Way, cd.Row) != cd.ID {
+			return check.Violationf("cache/walk-tree",
+				"%s: candidate %d ID %d != slot(way %d, row %d)",
+				c.array.Name(), i, cd.ID, cd.Way, cd.Row)
+		}
+		switch {
+		case cd.Level == 1:
+			if cd.Parent != -1 {
+				return check.Violationf("cache/walk-tree",
+					"%s: level-1 candidate %d has parent %d", c.array.Name(), i, cd.Parent)
+			}
+			for j := 0; j < i; j++ {
+				if cands[j].Level == 1 && cands[j].ID == cd.ID {
+					return check.Violationf("cache/walk-tree",
+						"%s: level-1 candidates %d and %d share slot %d",
+						c.array.Name(), j, i, cd.ID)
+				}
+			}
+		case cd.Level > 1:
+			if cd.Parent < 0 || cd.Parent >= i {
+				return check.Violationf("cache/walk-tree",
+					"%s: candidate %d (level %d) has out-of-order parent %d",
+					c.array.Name(), i, cd.Level, cd.Parent)
+			}
+			if p := &cands[cd.Parent]; p.Level != cd.Level-1 || !p.Valid {
+				return check.Violationf("cache/walk-tree",
+					"%s: candidate %d (level %d) parent %d at level %d (valid=%t)",
+					c.array.Name(), i, cd.Level, cd.Parent, p.Level, p.Valid)
+			}
+		default:
+			return check.Violationf("cache/walk-tree",
+				"%s: candidate %d has level %d", c.array.Name(), i, cd.Level)
+		}
+	}
+	return nil
 }
 
 // Contains reports whether addr's line is resident, without touching

@@ -1,0 +1,49 @@
+// Package check defines the structured invariant-violation error the
+// simulator's consistency checks produce.
+//
+// The cache kernel and the coherence model enforce invariants that a
+// correct simulation can never break: every install finds a victim, the
+// directory knows every L1-resident line, directory population never
+// exceeds L2 capacity. Historically those sites panicked with bare
+// strings, which killed whole matrix runs. They now panic with a
+// *Violation, which the runlab runner's panic recovery recognizes and
+// converts into a quarantinable cell error — one poisoned cell no longer
+// takes down a multi-hour suite. The optional -check mode additionally
+// scans system state (MESI legality, directory/L1 agreement, inclusion,
+// walk-tree well-formedness) and surfaces failures as the same type.
+package check
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Violation is a structured simulator-invariant failure: which invariant
+// broke and a human-readable account of the state that broke it.
+type Violation struct {
+	// Invariant names the broken invariant, e.g. "cache/no-victim",
+	// "sim/dir-miss", "sim/mesi-owner".
+	Invariant string
+	// Detail describes the violating state.
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("invariant %s violated: %s", v.Invariant, v.Detail)
+}
+
+// Violationf builds a Violation with a formatted detail string.
+func Violationf(invariant, format string, args ...any) *Violation {
+	return &Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)}
+}
+
+// AsViolation unwraps err (or a recovered panic value that is an error)
+// to a *Violation, if one is in the chain.
+func AsViolation(err error) (*Violation, bool) {
+	var v *Violation
+	if errors.As(err, &v) {
+		return v, true
+	}
+	return nil, false
+}

@@ -1,0 +1,28 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestViolationfAndAsViolation(t *testing.T) {
+	v := Violationf("cache/no-victim", "no victim among %d candidates", 52)
+	if v.Invariant != "cache/no-victim" {
+		t.Fatalf("invariant = %q", v.Invariant)
+	}
+	want := "invariant cache/no-victim violated: no victim among 52 candidates"
+	if v.Error() != want {
+		t.Fatalf("Error() = %q, want %q", v.Error(), want)
+	}
+	// AsViolation must see through wrapping, as the runner wraps cell
+	// failures in several layers.
+	wrapped := fmt.Errorf("cell failed: %w", fmt.Errorf("attempt 1: %w", v))
+	got, ok := AsViolation(wrapped)
+	if !ok || got != v {
+		t.Fatalf("AsViolation(%v) = %v, %v", wrapped, got, ok)
+	}
+	if _, ok := AsViolation(errors.New("plain")); ok {
+		t.Fatal("AsViolation matched a plain error")
+	}
+}

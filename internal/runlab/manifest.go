@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"zcache/internal/failpoint"
 )
 
 // manifestName is the run log kept beside the shards. It is append-only
@@ -29,15 +31,23 @@ type ManifestEntry struct {
 	Cached      int       `json:"cached"`
 	Computed    int       `json:"computed"`
 	Failed      int       `json:"failed"`
+	// Quarantined counts cells that failed persistently but did not abort
+	// the run (FailQuarantine mode); Corrupt is the store's corrupt-line
+	// count observed at the end of the run.
+	Quarantined int `json:"quarantined,omitempty"`
+	Corrupt     int `json:"corrupt,omitempty"`
 }
 
 // AppendManifest appends one entry to the store's manifest.
 func (s *Store) AppendManifest(e ManifestEntry) error {
+	if err := failpoint.Inject("runlab/manifest/append"); err != nil {
+		return fmt.Errorf("runlab: manifest append: %w", err)
+	}
 	line, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("runlab: encode manifest entry: %w", err)
 	}
-	return appendFile(filepath.Join(s.dir, manifestName), append(line, '\n'))
+	return appendFile(filepath.Join(s.dir, manifestName), append(line, '\n'), s.opts.Durable)
 }
 
 // Manifest returns every readable manifest entry in append order,

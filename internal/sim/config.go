@@ -170,6 +170,13 @@ type Config struct {
 	WarmupInstructionsPerCore uint64
 	// Seed feeds every seeded component (hash functions, policies).
 	Seed uint64
+	// Check enables the invariant checker: cache candidate trees are
+	// validated on every miss, and MESI/directory/inclusion invariants
+	// are verified at phase boundaries. Violations surface as
+	// *check.Violation errors (or panics on the miss path, which run
+	// engines recover). Check does not alter simulated behaviour and is
+	// excluded from result fingerprints.
+	Check bool
 }
 
 // PaperSystem returns the Table I configuration with the given L2 design

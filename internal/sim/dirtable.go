@@ -1,6 +1,9 @@
 package sim
 
-import "zcache/internal/hash"
+import (
+	"zcache/internal/check"
+	"zcache/internal/hash"
+)
 
 // dirSlot is one index slot: the line key plus the slab index of its entry
 // (-1 = empty). Key and index share a slot so a probe touches one cache
@@ -79,7 +82,8 @@ func (t *dirTable) getOrCreate(line uint64) *dirEntry {
 		// More live entries than the bank can hold resident means an
 		// entry leaked past its line's eviction — fail loudly rather
 		// than corrupt coherence state.
-		panic("sim: directory population exceeds L2 bank capacity")
+		panic(check.Violationf("sim/dir-capacity",
+			"directory population %d exceeds L2 bank capacity while inserting line %#x", t.n, line))
 	}
 	j := t.free[len(t.free)-1]
 	t.free = t.free[:len(t.free)-1]

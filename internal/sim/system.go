@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"zcache/internal/cache"
+	"zcache/internal/check"
 	"zcache/internal/energy"
+	"zcache/internal/failpoint"
 	"zcache/internal/trace"
 )
 
@@ -202,6 +204,9 @@ func NewSystem(cfg Config, gens []trace.Generator) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Check {
+			l1.EnableChecks(true)
+		}
 		c := &core{id: i, gen: gens[i], l1: l1, buf: make([]trace.Access, coreBatchLen)}
 		// L1 victim handling: update the directory and write dirty
 		// victims back to the L2 (inclusive hierarchy).
@@ -221,6 +226,9 @@ func NewSystem(cfg Config, gens []trace.Generator) (*System, error) {
 		cc, err := cache.New(arr, pol, s.lineBits)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Check {
+			cc.EnableChecks(true)
 		}
 		bank := &l2bank{cache: cc, dir: newDirTable(arr.Blocks())}
 		bankIdx := b
@@ -249,12 +257,86 @@ func (s *System) fullLine(bank int, bankByteAddr uint64) uint64 {
 // the metrics. If configured, a warmup phase runs first and is excluded
 // from every counter (the paper's fast-forward methodology, §V).
 func (s *System) Run() (Metrics, error) {
+	if err := failpoint.Inject("sim/run"); err != nil {
+		return Metrics{}, err
+	}
 	if s.cfg.WarmupInstructionsPerCore > 0 {
 		s.phase(s.cfg.WarmupInstructionsPerCore)
+		// Check at the phase boundary, before the counter reset absorbs
+		// the probes the checker issues (Contains touches counters).
+		if s.cfg.Check {
+			if err := s.CheckInvariants(); err != nil {
+				return Metrics{}, err
+			}
+		}
 		s.resetCounters()
 	}
 	s.phase(s.cfg.InstructionsPerCore)
-	return s.metrics(), nil
+	m := s.metrics()
+	if s.cfg.Check {
+		if err := s.CheckInvariants(); err != nil {
+			return Metrics{}, err
+		}
+	}
+	return m, nil
+}
+
+// CheckInvariants verifies the cross-layer coherence invariants the
+// protocol relies on and returns a *check.Violation describing the first
+// breach, or nil. Checked per directory entry: MESI legality (owner
+// implies an exclusive sharer mask; the mask never names nonexistent
+// cores), directory→L1 agreement (every named sharer actually holds the
+// line), inclusion (the entry's line is resident in its L2 bank), and
+// bank routing (the line belongs to the bank whose directory holds it).
+// The probes perturb array Counters, so call this only at phase
+// boundaries — Run does, when Config.Check is set.
+func (s *System) CheckInvariants() error {
+	coreMask := uint64(1)<<uint(s.cfg.Cores) - 1
+	for b, bank := range s.banks {
+		var v *check.Violation
+		bank.dir.forEach(func(line uint64, e *dirEntry) {
+			if v != nil {
+				return
+			}
+			switch {
+			case s.bankOf(line) != b:
+				v = check.Violationf("sim/dir-bank",
+					"line %#x routed to bank %d but held by bank %d's directory",
+					line, s.bankOf(line), b)
+			case e.sharers&^coreMask != 0:
+				v = check.Violationf("sim/mesi-sharers",
+					"line %#x sharer mask %#x names cores beyond %d", line, e.sharers, s.cfg.Cores)
+			case int(e.owner) >= s.cfg.Cores:
+				v = check.Violationf("sim/mesi-owner",
+					"line %#x owned by nonexistent core %d", line, e.owner)
+			case e.owner >= 0 && e.sharers != 1<<uint(e.owner):
+				v = check.Violationf("sim/mesi-owner",
+					"line %#x owned by core %d but sharer mask is %#x (M state must be exclusive)",
+					line, e.owner, e.sharers)
+			case !bank.cache.Contains(s.bankAddr(line)):
+				v = check.Violationf("sim/inclusion",
+					"directory entry for line %#x but the line is not resident in L2 bank %d", line, b)
+			default:
+				addr := line << s.lineBits
+				for mask, cid := e.sharers, 0; mask != 0; cid++ {
+					if mask&(1<<uint(cid)) == 0 {
+						continue
+					}
+					mask &^= 1 << uint(cid)
+					if !s.cores[cid].l1.Contains(addr) {
+						v = check.Violationf("sim/dir-l1",
+							"directory names core %d a sharer of line %#x but its L1 does not hold it",
+							cid, line)
+						return
+					}
+				}
+			}
+		})
+		if v != nil {
+			return v
+		}
+	}
+	return nil
 }
 
 // phase advances every core by target additional instructions.
@@ -327,7 +409,8 @@ func (s *System) writeUpgrade(coreID int, line uint64) {
 	if e == nil {
 		// Inclusivity means the directory must know the line; a miss
 		// here is a protocol bug.
-		panic(fmt.Sprintf("sim: L1 hit on line %#x unknown to the directory", line))
+		panic(check.Violationf("sim/dir-unknown-line",
+			"L1 write hit by core %d on line %#x unknown to the directory", coreID, line))
 	}
 	if e.owner == int8(coreID) {
 		return // already M

@@ -210,6 +210,9 @@ func ReplayL2(cfg Config, stream *L2Stream) (Metrics, error) {
 		if err != nil {
 			return Metrics{}, err
 		}
+		if cfg.Check {
+			cc.EnableChecks(true)
+		}
 		cc.OnEviction = func(addr uint64, dirty bool) {
 			if dirty {
 				counts.Writebacks++

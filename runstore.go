@@ -3,6 +3,7 @@ package zcache
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"zcache/internal/runlab"
@@ -16,7 +17,13 @@ const DefaultStoreDir = "results/store"
 // for status inspection; tune worker count, flush cadence, or progress
 // reporting via the Lab field afterwards.
 func (e *Experiment) AttachStore(dir string) (*runlab.Store, error) {
-	st, err := runlab.Open(dir)
+	return e.AttachStoreOptions(dir, runlab.Options{})
+}
+
+// AttachStoreOptions is AttachStore with explicit store durability and
+// strictness options (see runlab.Options).
+func (e *Experiment) AttachStoreOptions(dir string, opts runlab.Options) (*runlab.Store, error) {
+	st, err := runlab.OpenWith(dir, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -50,9 +57,15 @@ func (e *Experiment) cellKey(c MatrixCell) runlab.CellKey {
 }
 
 // runMatrixLab executes the matrix through the attached runlab runner:
-// cache lookup before compute, bounded workers, retry-once, cancellation
-// on first persistent error, and periodic checkpoint flushes.
+// cache lookup before compute, bounded workers, panic-safe retries with
+// backoff, and periodic checkpoint flushes. With Quarantine set the
+// runner runs in FailQuarantine mode: a run with persistently failing
+// cells still completes, and the quarantined cells come back as a
+// *MatrixError alongside the partial results.
 func (e *Experiment) runMatrixLab(ctx context.Context, cells []MatrixCell) ([]RunResult, error) {
+	if e.Quarantine {
+		e.Lab.FailMode = runlab.FailQuarantine
+	}
 	keys := make([]runlab.CellKey, len(cells))
 	for i, c := range cells {
 		keys[i] = e.cellKey(c)
@@ -61,14 +74,31 @@ func (e *Experiment) runMatrixLab(ctx context.Context, cells []MatrixCell) ([]Ru
 		c := cells[i]
 		return e.Run(c.Workload, c.Design, c.Policy, c.Lookup)
 	})
-	if err != nil {
+	var qerr *runlab.QuarantineError
+	if err != nil && !errors.As(err, &qerr) {
 		return nil, err
 	}
+	reasons := map[int]string{}
+	if qerr != nil {
+		for _, ce := range qerr.Cells {
+			reasons[ce.Index] = ce.Err.Error()
+		}
+	}
 	out := make([]RunResult, len(cells))
+	var missing []MissingCell
 	for i, raw := range raws {
+		if raw == nil {
+			c := cells[i]
+			missing = append(missing, MissingCell{Index: i, Workload: c.Workload.Name,
+				Design: c.Design.Label, Policy: c.Policy, Lookup: c.Lookup, Reason: reasons[i]})
+			continue
+		}
 		if err := json.Unmarshal(raw, &out[i]); err != nil {
 			return nil, fmt.Errorf("zcache: decode cached cell %s: %w", keys[i].Fingerprint(), err)
 		}
+	}
+	if len(missing) > 0 {
+		return out, &MatrixError{Missing: missing}
 	}
 	return out, nil
 }
