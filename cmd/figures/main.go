@@ -48,6 +48,17 @@ func run() int {
 	quarantine := flag.Bool("quarantine", false, "render partial figures past failing cells; exit 4 when cells are missing")
 	var pf prof.Flags
 	pf.Register(flag.CommandLine)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: figures [flags]\n\nflags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), `
+exit codes:
+  0  success
+  1  runtime or usage error
+  3  store corruption detected (run 'runlab repair')
+  4  cells quarantined; figure rendered partial (rerun to retry)
+`)
+	}
 	flag.Parse()
 	var subset []string
 	if *workloadsFlag != "" {
@@ -119,6 +130,13 @@ func run() int {
 	if missing > 0 {
 		log.Printf("%d matrix cell(s) missing — figure above is partial", missing)
 		return 4
+	}
+	// Same contract as runlab: corrupt store lines surface as exit 3 even
+	// when the figure itself rendered (cells may have been recomputed from
+	// scratch rather than served from the damaged cache).
+	if e.Lab != nil && e.Lab.Store != nil && e.Lab.Store.Corrupt() > 0 {
+		log.Printf("%d corrupt store line(s) detected; 'runlab repair' rewrites the damaged shards", e.Lab.Store.Corrupt())
+		return 3
 	}
 	return 0
 }

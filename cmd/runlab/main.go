@@ -118,6 +118,13 @@ run and bench both accept the profiling flags:
   -cpuprofile FILE  write a CPU profile (go tool pprof)
   -memprofile FILE  write a heap profile on exit
   -trace FILE       write an execution trace (go tool trace)
+
+exit codes:
+  0  success
+  1  runtime error
+  2  usage error
+  3  store corruption detected (run 'runlab repair')
+  4  cells quarantined; results are partial (rerun to retry)
 `, zcache.DefaultStoreDir)
 }
 

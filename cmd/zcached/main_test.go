@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"zcache/internal/zkvproto"
+)
+
+// freeAddr grabs an ephemeral port and releases it for the server to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func dialRetry(t *testing.T, addr string) *zkvproto.Client {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cl, err := zkvproto.Dial(addr)
+		if err == nil {
+			return cl
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up on %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunServesAndDrains drives the full zcached lifecycle: start, serve a
+// client, cancel the context (the signal path), and confirm run returns nil
+// — the exit-0 contract for SIGINT.
+func TestRunServesAndDrains(t *testing.T) {
+	addr := freeAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-addr", addr, "-shards", "2", "-rows", "256",
+			"-drain", "1s", "-seed", "9",
+		}, os.Stderr)
+	}()
+
+	cl := dialRetry(t, addr)
+	defer cl.Close()
+	if err := cl.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cl.Get([]byte("k"), nil)
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q, %t, %v", v, ok, err)
+	}
+
+	cancel() // stands in for SIGINT via signal.NotifyContext
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil (exit 0)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+}
+
+func TestRunMetricsEndpoint(t *testing.T) {
+	addr, maddr := freeAddr(t), freeAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-addr", addr, "-shards", "1", "-rows", "64",
+			"-metrics", maddr, "-drain", "500ms",
+		}, os.Stderr)
+	}()
+	cl := dialRetry(t, addr)
+	defer cl.Close()
+	if err := cl.Set([]byte("m"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain-text GET of /metrics without net/http client ceremony.
+	deadline := time.Now().Add(5 * time.Second)
+	var body string
+	for {
+		conn, err := net.Dial("tcp", maddr)
+		if err == nil {
+			conn.Write([]byte("GET /metrics HTTP/1.0\r\n\r\n"))
+			buf := make([]byte, 1<<16)
+			n, _ := conn.Read(buf)
+			for n < len(buf) {
+				m, err := conn.Read(buf[n:])
+				n += m
+				if err != nil {
+					break
+				}
+			}
+			conn.Close()
+			body = string(buf[:n])
+			if strings.Contains(body, "zkv_sets_total") {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics endpoint never answered; last body:\n%s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(body, "zkv_sets_total 1") {
+		t.Fatalf("metrics missing set counter:\n%s", body)
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run(context.Background(), []string{"-policy", "mru"}, os.Stderr); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if err := run(context.Background(), []string{"-shards", "3"}, os.Stderr); err == nil {
+		t.Fatal("bad shard count accepted")
+	}
+}

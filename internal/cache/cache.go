@@ -22,6 +22,22 @@ type Stats struct {
 	CycleRetries uint64
 }
 
+// SlotObserver receives physical-slot lifecycle events from the controller:
+// evictions (with the departing line) and relocations. The live KV layer
+// (internal/zkv) implements it to keep per-slot value cells aligned with the
+// tag array, so the simulator and the store share one eviction core instead
+// of forking it. All callbacks run synchronously on the miss path, under
+// whatever lock the caller holds around Access/AccessSlot.
+type SlotObserver interface {
+	// SlotEvicted fires before slot id's block leaves the cache (demand
+	// eviction or invalidation), with the departing line and its dirtiness.
+	SlotEvicted(id repl.BlockID, line uint64, dirty bool)
+	// SlotMoved fires for each relocation of an install chain, in
+	// application order: the block (and anything the observer stores for
+	// it) slides from one slot to the vacated other.
+	SlotMoved(from, to repl.BlockID)
+}
+
 // Cache is the controller of §III-A/§III-C: it couples a physical Array
 // with a repl.Policy, runs the replacement process (candidate walk, victim
 // selection, relocations), tracks dirty lines for writeback accounting, and
@@ -59,6 +75,10 @@ type Cache struct {
 	// and dirtiness before the new line is installed. Inclusive
 	// hierarchies use it for back-invalidations and writeback routing.
 	OnEviction func(addr uint64, dirty bool)
+
+	// slotObs, if set, receives slot-level eviction and relocation events
+	// (SetSlotObserver); the zkv value layer rides on it.
+	slotObs SlotObserver
 
 	// hybridLevels > 0 enables the §III-D hybrid walk on zcache arrays:
 	// after the first walk selects a victim, the tree is expanded below
@@ -211,12 +231,27 @@ func (c *Cache) onMoves(moves []Move) {
 		c.dirty[m.To] = c.dirty[m.From]
 		c.dirty[m.From] = false
 	}
+	if c.slotObs != nil {
+		for _, m := range moves {
+			c.slotObs.SlotMoved(m.From, m.To)
+		}
+	}
 }
 
 // Access performs one reference. It returns whether the access hit. On a
 // miss the line is fetched and installed (write-allocate); write hits and
 // write-allocated installs mark the line dirty.
 func (c *Cache) Access(addr uint64, write bool) bool {
+	_, hit := c.AccessSlot(addr, write)
+	return hit
+}
+
+// AccessSlot performs one reference exactly like Access and additionally
+// returns the physical slot holding the line afterwards: the hit slot, or
+// the slot a missing line was installed into. The live KV layer uses it to
+// address per-slot value cells while sharing Access's eviction behaviour
+// bit for bit.
+func (c *Cache) AccessSlot(addr uint64, write bool) (repl.BlockID, bool) {
 	c.stats.Accesses++
 	line := addr >> c.lineBits
 	if id, ok := c.lookup(line); ok {
@@ -225,16 +260,39 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 		if write {
 			c.dirty[id] = true
 		}
-		return true
+		return id, true
 	}
 	c.stats.Misses++
 	if (c.saFast != nil || c.skFast != nil) && !c.noFastPath {
-		c.installFlat(line, write)
-		return false
+		return c.installFlat(line, write), false
 	}
-	c.install(line, write)
-	return false
+	return c.install(line, write), false
 }
+
+// Peek is a tag-only probe: it returns the slot holding addr's line without
+// touching replacement state or hit/miss accounting (array tag counters
+// still advance, as for any probe).
+func (c *Cache) Peek(addr uint64) (repl.BlockID, bool) {
+	return c.lookup(addr >> c.lineBits)
+}
+
+// Touch records a demand hit on slot id as if Access had found it there:
+// access/hit counters, policy notification, and dirty marking. Peek+Touch
+// lets a caller that must verify slot contents first (zkv compares stored
+// key bytes against the probe's fingerprint match) reproduce Access's hit
+// path exactly.
+func (c *Cache) Touch(id repl.BlockID, write bool) {
+	c.stats.Accesses++
+	c.stats.Hits++
+	c.onAccess(id, write)
+	if write {
+		c.dirty[id] = true
+	}
+}
+
+// SetSlotObserver attaches o to the controller's eviction and relocation
+// events (nil detaches). See SlotObserver.
+func (c *Cache) SetSlotObserver(o SlotObserver) { c.slotObs = o }
 
 // AccessBatch performs accs in order and returns the number of hits. It is
 // exactly equivalent to calling Access per element; batch drivers use it so
@@ -255,8 +313,9 @@ func (c *Cache) AccessBatch(accs []trace.Access) int {
 // materializing Candidate structs, preferring the first empty slot just like
 // the generic path's first-invalid-candidate scan; when the set is full the
 // policy selects over the W slot IDs in way order, which is precisely the
-// valid-candidate sequence the generic path would build.
-func (c *Cache) installFlat(line uint64, write bool) {
+// valid-candidate sequence the generic path would build. It returns the slot
+// the line was installed into.
+func (c *Cache) installFlat(line uint64, write bool) repl.BlockID {
 	ids := c.validIDs[:0]
 	var tags *tagStore
 	if a := c.saFast; a != nil {
@@ -266,8 +325,7 @@ func (c *Cache) installFlat(line uint64, write bool) {
 		for w := 0; w < tags.ways; w++ {
 			e := &tags.e[id]
 			if !e.valid {
-				c.finishFlat(id, 0, false, line, write)
-				return
+				return c.finishFlat(id, 0, false, line, write)
 			}
 			ids = append(ids, id)
 			id += step
@@ -279,8 +337,7 @@ func (c *Cache) installFlat(line uint64, write bool) {
 			id := tags.slot(w, a.row(w, line))
 			e := &tags.e[id]
 			if !e.valid {
-				c.finishFlat(id, 0, false, line, write)
-				return
+				return c.finishFlat(id, 0, false, line, write)
 			}
 			ids = append(ids, id)
 		}
@@ -294,14 +351,14 @@ func (c *Cache) installFlat(line uint64, write bool) {
 	}
 	id := ids[sel]
 	e := &tags.e[id]
-	c.finishFlat(id, e.addr, true, line, write)
+	return c.finishFlat(id, e.addr, true, line, write)
 }
 
 // finishFlat writes line into slot id (which held oldAddr if oldValid) and
 // performs the same bookkeeping, in the same order, as Install followed by
 // finishInstall on the generic path: tag write first, then eviction
-// notification, then policy insertion.
-func (c *Cache) finishFlat(id repl.BlockID, oldAddr uint64, oldValid bool, line uint64, write bool) {
+// notification, then policy insertion. It returns id.
+func (c *Cache) finishFlat(id repl.BlockID, oldAddr uint64, oldValid bool, line uint64, write bool) repl.BlockID {
 	if c.saFast != nil {
 		c.saFast.installAt(id, line)
 	} else {
@@ -316,15 +373,20 @@ func (c *Cache) finishFlat(id repl.BlockID, oldAddr uint64, oldValid bool, line 
 		if c.OnEviction != nil {
 			c.OnEviction(oldAddr<<c.lineBits, wasDirty)
 		}
+		if c.slotObs != nil {
+			c.slotObs.SlotEvicted(id, oldAddr, wasDirty)
+		}
 		c.onEvict(id)
 		c.dirty[id] = false
 	}
 	c.onInsert(id, line)
 	c.dirty[id] = write
+	return id
 }
 
-// install runs the replacement process for a missing line.
-func (c *Cache) install(line uint64, write bool) {
+// install runs the replacement process for a missing line and returns the
+// slot the line landed in.
+func (c *Cache) install(line uint64, write bool) repl.BlockID {
 	c.candBuf = c.array.Candidates(line, c.candBuf[:0])
 	cands := c.candBuf
 	if c.strictCheck {
@@ -389,8 +451,7 @@ func (c *Cache) install(line uint64, write bool) {
 			panic(check.Violationf("cache/install",
 				"%s: install of line %#x failed: %v", c.array.Name(), line, err))
 		}
-		c.finishInstall(line, cands, victim, moves, write)
-		return
+		return c.finishInstall(line, cands, victim, moves, write)
 	}
 }
 
@@ -456,8 +517,9 @@ func (c *Cache) selectVictim(cands []Candidate, excluded int) int {
 }
 
 // finishInstall performs eviction notification, policy/dirty-bit migration
-// along the relocation chain, and the final insertion.
-func (c *Cache) finishInstall(line uint64, cands []Candidate, victim int, moves []Move, write bool) {
+// along the relocation chain, and the final insertion. It returns the slot
+// the incoming line landed in (the root of the victim's ancestor chain).
+func (c *Cache) finishInstall(line uint64, cands []Candidate, victim int, moves []Move, write bool) repl.BlockID {
 	v := cands[victim]
 	if v.Valid {
 		c.stats.Evictions++
@@ -467,6 +529,9 @@ func (c *Cache) finishInstall(line uint64, cands []Candidate, victim int, moves 
 		}
 		if c.OnEviction != nil {
 			c.OnEviction(v.Addr<<c.lineBits, wasDirty)
+		}
+		if c.slotObs != nil {
+			c.slotObs.SlotEvicted(v.ID, v.Addr, wasDirty)
 		}
 		c.onEvict(v.ID)
 		c.dirty[v.ID] = false
@@ -480,6 +545,7 @@ func (c *Cache) finishInstall(line uint64, cands []Candidate, victim int, moves 
 	id := cands[root].ID
 	c.onInsert(id, line)
 	c.dirty[id] = write
+	return id
 }
 
 // EnableChecks toggles strict miss-path validation: every candidate tree
@@ -570,12 +636,16 @@ func (c *Cache) Contains(addr uint64) bool {
 // Invalidate removes addr's line if resident, returning whether it was
 // present and whether it was dirty (the caller owns the writeback).
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
-	id, ok := c.array.Invalidate(c.Line(addr))
+	line := c.Line(addr)
+	id, ok := c.array.Invalidate(line)
 	if !ok {
 		return false, false
 	}
-	c.onEvict(id)
 	d := c.dirty[id]
+	if c.slotObs != nil {
+		c.slotObs.SlotEvicted(id, line, d)
+	}
+	c.onEvict(id)
 	c.dirty[id] = false
 	return true, d
 }

@@ -280,7 +280,17 @@ func List() []Status {
 //
 //	runlab/compute=panic:p=0.1
 //	runlab/store/append=torn:n=1,trunc=7;runlab/compute=delay:d=5ms
+//
+// Configure is atomic: a spec with any invalid term enables nothing.
 func Configure(spec string, seed uint64) error {
+	type pending struct {
+		name  string
+		mode  Mode
+		prob  float64
+		times int
+		opts  []Option
+	}
+	var parsed []pending
 	for _, term := range strings.Split(spec, ";") {
 		term = strings.TrimSpace(term)
 		if term == "" {
@@ -318,11 +328,20 @@ func Configure(spec string, seed uint64) error {
 					if err != nil {
 						return fmt.Errorf("failpoint: bad probability %q: %v", v, err)
 					}
+					// NaN slips through ordered comparisons (every
+					// clamp test is false), so spell the valid range
+					// positively rather than rejecting the invalid one.
+					if !(f > 0 && f <= 1) {
+						return fmt.Errorf("failpoint: probability %q outside (0, 1]", v)
+					}
 					prob = f
 				case "n":
 					i, err := strconv.Atoi(v)
 					if err != nil {
 						return fmt.Errorf("failpoint: bad count %q: %v", v, err)
+					}
+					if i < 0 {
+						return fmt.Errorf("failpoint: negative count %q (omit n for unlimited)", v)
 					}
 					times = i
 				case "d":
@@ -330,11 +349,17 @@ func Configure(spec string, seed uint64) error {
 					if err != nil {
 						return fmt.Errorf("failpoint: bad delay %q: %v", v, err)
 					}
+					if d < 0 {
+						return fmt.Errorf("failpoint: negative delay %q", v)
+					}
 					opts = append(opts, WithDelay(d))
 				case "trunc":
 					i, err := strconv.Atoi(v)
 					if err != nil {
 						return fmt.Errorf("failpoint: bad truncation %q: %v", v, err)
+					}
+					if i < 1 {
+						return fmt.Errorf("failpoint: truncation %q must be at least 1", v)
 					}
 					opts = append(opts, WithTruncate(i))
 				default:
@@ -343,7 +368,10 @@ func Configure(spec string, seed uint64) error {
 			}
 		}
 		opts = append(opts, WithSeed(seed))
-		Enable(name, mode, prob, times, opts...)
+		parsed = append(parsed, pending{name, mode, prob, times, opts})
+	}
+	for _, p := range parsed {
+		Enable(p.name, p.mode, p.prob, p.times, p.opts...)
 	}
 	return nil
 }

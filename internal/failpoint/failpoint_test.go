@@ -172,9 +172,29 @@ func TestConfigureRejectsBadSpecs(t *testing.T) {
 		"x=error:k=1",
 		"x=delay:d=fast",
 		"=error",
+		"x=error:p=NaN",
+		"x=error:p=Inf",
+		"x=error:p=0",
+		"x=error:p=1.5",
+		"x=error:p=-0.5",
+		"x=error:n=-1",
+		"x=delay:d=-5ms",
+		"x=torn:trunc=0",
+		"x=torn:trunc=-3",
 	} {
 		if err := Configure(spec, 1); err == nil {
 			t.Errorf("Configure(%q) accepted a bad spec", spec)
 		}
+	}
+}
+
+func TestConfigureIsAtomic(t *testing.T) {
+	defer Reset()
+	// Term 1 is valid, term 2 is not: nothing may be enabled.
+	if err := Configure("good=error:p=0.5;bad=error:p=NaN", 1); err == nil {
+		t.Fatal("bad second term accepted")
+	}
+	if pts := List(); len(pts) != 0 {
+		t.Fatalf("failed Configure enabled %d points", len(pts))
 	}
 }

@@ -1,0 +1,70 @@
+package failpoint
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzConfigure throws arbitrary spec strings at the grammar. The decoder
+// must never panic, and any spec it accepts must yield points that hold the
+// package's invariants: probability in (0,1], positive truncation,
+// non-negative delay. Rejected specs must enable nothing (Configure is
+// atomic).
+func FuzzConfigure(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"runlab/compute=panic:p=0.1",
+		"runlab/store/append=torn:n=1,trunc=7;runlab/compute=delay:d=5ms",
+		"a=error",
+		"a=error:p=1,n=3",
+		"a=delay:d=1h",
+		"a=torn:trunc=100",
+		"a=error:p=NaN",
+		"a=error:p=+Inf",
+		"a=error:n=-1",
+		"a=delay:d=-5ms",
+		"a=torn:trunc=0",
+		"=error",
+		"a=",
+		"a=error:p=",
+		"a=error:;b=panic",
+		"a=error:p=0.5;;b=panic",
+		";;;",
+		"a=error:p=1e308",
+		"a=delay:d=9999999h",
+	} {
+		f.Add(s, uint64(1))
+	}
+	f.Fuzz(func(t *testing.T, spec string, seed uint64) {
+		defer Reset()
+		err := Configure(spec, seed)
+		pts := List()
+		if err != nil {
+			if len(pts) != 0 {
+				t.Fatalf("Configure(%q) errored (%v) but enabled %d points", spec, err, len(pts))
+			}
+			return
+		}
+		for _, st := range pts {
+			if math.IsNaN(st.Prob) || !(st.Prob > 0 && st.Prob <= 1) {
+				t.Fatalf("Configure(%q) accepted probability %v for %q", spec, st.Prob, st.Name)
+			}
+			if st.Mode < Error || st.Mode > Torn {
+				t.Fatalf("Configure(%q) produced mode %v for %q", spec, st.Mode, st.Name)
+			}
+			if strings.TrimSpace(st.Name) == "" {
+				t.Fatalf("Configure(%q) accepted empty point name", spec)
+			}
+			// An Eval on the fuzzer-chosen name must not panic either
+			// (Delay-mode sleeps are not applied by Eval, only sized).
+			act := Eval(st.Name)
+			if act.Mode == Torn && act.Truncate < 1 {
+				t.Fatalf("Configure(%q): torn action with truncate %d", spec, act.Truncate)
+			}
+			if act.Mode == Delay && act.Delay < 0 {
+				t.Fatalf("Configure(%q): negative delay %v", spec, act.Delay)
+			}
+		}
+	})
+}

@@ -1,0 +1,16 @@
+package hash
+
+// Bytes64 folds an arbitrary byte string into a 64-bit fingerprint: FNV-1a
+// over the bytes, finalized with Mix64 so short keys still populate the high
+// bits. The live KV layer uses it to map keys onto the 64-bit line-address
+// space the cache arrays index; it is deterministic, allocation-free, and
+// NOT cryptographic (zkv verifies stored key bytes on every hit, so a
+// fingerprint collision degrades to a cache miss, never a wrong value).
+func Bytes64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return Mix64(h)
+}

@@ -1,0 +1,188 @@
+package repl
+
+import (
+	"fmt"
+	"testing"
+)
+
+// propRNG is a tiny xorshift64* so the property streams are seeded and
+// reproducible without math/rand ceremony.
+type propRNG uint64
+
+func (r *propRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = propRNG(x)
+	return x * 0x2545f4914f6cdd1d
+}
+
+// applyStream drives one policy with a deterministic op stream of inserts,
+// accesses, evictions, and relocation chains. When batch is true, chains go
+// through OnMoves in one call; otherwise each move is applied with OnMove.
+// It returns the Select choices made along the way.
+func applyStream(t *testing.T, p Policy, seed uint64, blocks, ops int, batch bool) []int {
+	t.Helper()
+	bp, hasBatch := p.(MoveBatcher)
+	if batch && !hasBatch {
+		t.Fatalf("%s does not implement BatchPolicy", p.Name())
+	}
+	rng := propRNG(seed)
+	resident := make([]bool, blocks)
+	var residentIDs, vacantIDs []BlockID
+	refresh := func() {
+		residentIDs, vacantIDs = residentIDs[:0], vacantIDs[:0]
+		for id := 0; id < blocks; id++ {
+			if resident[id] {
+				residentIDs = append(residentIDs, BlockID(id))
+			} else {
+				vacantIDs = append(vacantIDs, BlockID(id))
+			}
+		}
+	}
+	var selects []int
+	for op := 0; op < ops; op++ {
+		refresh()
+		switch rng.next() % 5 {
+		case 0: // insert into a vacant slot
+			if len(vacantIDs) == 0 {
+				continue
+			}
+			id := vacantIDs[rng.next()%uint64(len(vacantIDs))]
+			p.OnInsert(id, rng.next())
+			resident[id] = true
+		case 1: // touch a resident block
+			if len(residentIDs) == 0 {
+				continue
+			}
+			id := residentIDs[rng.next()%uint64(len(residentIDs))]
+			p.OnAccess(id, rng.next()%2 == 0)
+		case 2: // evict a resident block
+			if len(residentIDs) == 0 {
+				continue
+			}
+			id := residentIDs[rng.next()%uint64(len(residentIDs))]
+			p.OnEvict(id)
+			resident[id] = false
+		case 3: // relocation chain into one vacant slot
+			if len(vacantIDs) == 0 || len(residentIDs) < 2 {
+				continue
+			}
+			chainLen := 1 + int(rng.next()%3)
+			if chainLen > len(residentIDs) {
+				chainLen = len(residentIDs)
+			}
+			// Walk-style chain: the first move fills the vacant slot,
+			// each later move fills the slot the previous one vacated.
+			dst := vacantIDs[rng.next()%uint64(len(vacantIDs))]
+			moves := make([]Move, 0, chainLen)
+			used := map[BlockID]bool{}
+			for i := 0; i < chainLen; i++ {
+				var src BlockID
+				for {
+					src = residentIDs[rng.next()%uint64(len(residentIDs))]
+					if !used[src] && src != dst {
+						break
+					}
+				}
+				used[src] = true
+				moves = append(moves, Move{From: src, To: dst})
+				resident[dst], resident[src] = true, false
+				dst = src
+			}
+			if batch {
+				bp.OnMoves(moves)
+			} else {
+				for _, m := range moves {
+					p.OnMove(m.From, m.To)
+				}
+			}
+		case 4: // victim selection over a random candidate set
+			if len(residentIDs) == 0 {
+				continue
+			}
+			n := 1 + int(rng.next()%8)
+			if n > len(residentIDs) {
+				n = len(residentIDs)
+			}
+			cands := make([]BlockID, 0, n)
+			seen := map[BlockID]bool{}
+			for len(cands) < n {
+				id := residentIDs[rng.next()%uint64(len(residentIDs))]
+				if !seen[id] {
+					seen[id] = true
+					cands = append(cands, id)
+				}
+			}
+			selects = append(selects, p.Select(cands))
+		}
+	}
+	return selects
+}
+
+// TestBucketedLRUBatchSingleStepInvariance is the satellite property: a
+// relocation chain applied in one OnMoves call must leave a BucketedLRU in
+// exactly the state of the same chain applied move-by-move — identical
+// victim selections along the way and identical global rank order
+// (RetentionKey per block) at the end. The cache controller relies on this
+// when it batches walk chains for dispatch cost.
+func TestBucketedLRUBatchSingleStepInvariance(t *testing.T) {
+	const blocks, ops = 128, 4000
+	for seed := uint64(1); seed <= 20; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			mk := func() *BucketedLRU {
+				p, err := PaperBucketedLRU(blocks)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			}
+			single, batched := mk(), mk()
+			selSingle := applyStream(t, single, seed, blocks, ops, false)
+			selBatch := applyStream(t, batched, seed, blocks, ops, true)
+			if len(selSingle) != len(selBatch) {
+				t.Fatalf("select counts diverge: %d vs %d", len(selSingle), len(selBatch))
+			}
+			for i := range selSingle {
+				if selSingle[i] != selBatch[i] {
+					t.Fatalf("selection %d diverges: single=%d batch=%d", i, selSingle[i], selBatch[i])
+				}
+			}
+			for id := 0; id < blocks; id++ {
+				ks, kb := single.RetentionKey(BlockID(id)), batched.RetentionKey(BlockID(id))
+				if ks != kb {
+					t.Fatalf("block %d rank diverges: single=%d batch=%d", id, ks, kb)
+				}
+			}
+		})
+	}
+}
+
+// TestLRUBatchSingleStepInvariance pins the same property for full LRU,
+// which shares the controller's batched-dispatch path.
+func TestLRUBatchSingleStepInvariance(t *testing.T) {
+	const blocks, ops = 128, 4000
+	for seed := uint64(21); seed <= 30; seed++ {
+		mk := func() *LRU {
+			p, err := NewLRU(blocks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		single, batched := mk(), mk()
+		selSingle := applyStream(t, single, seed, blocks, ops, false)
+		selBatch := applyStream(t, batched, seed, blocks, ops, true)
+		for i := range selSingle {
+			if selSingle[i] != selBatch[i] {
+				t.Fatalf("seed %d: selection %d diverges", seed, i)
+			}
+		}
+		for id := 0; id < blocks; id++ {
+			if single.RetentionKey(BlockID(id)) != batched.RetentionKey(BlockID(id)) {
+				t.Fatalf("seed %d: block %d rank diverges", seed, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package zkv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"zcache/internal/hash"
+	"zcache/internal/zkvproto"
+)
+
+// LoadConfig drives RunLoad, the zkvbench load generator, against a running
+// zcached server.
+type LoadConfig struct {
+	// Addr is the server address (required).
+	Addr string
+	// Clients is the number of concurrent client connections (default 4).
+	Clients int
+	// Ops is the total operation count across clients (default 100000).
+	Ops int
+	// KeySpace is the number of distinct keys (default 65536).
+	KeySpace int
+	// ValBytes is the payload size for SETs (default 64).
+	ValBytes int
+	// GetFrac in [0,1] is the fraction of GETs; the rest are SETs
+	// (default 0.9).
+	GetFrac float64
+	// Pipeline is the number of requests queued per flush (default 16;
+	// 1 means strict request/response).
+	Pipeline int
+	// Seed makes the key sequence reproducible.
+	Seed uint64
+}
+
+func (c LoadConfig) withDefaults() (LoadConfig, error) {
+	if c.Addr == "" {
+		return c, fmt.Errorf("zkv: load config needs an address")
+	}
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Ops == 0 {
+		c.Ops = 100000
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = 65536
+	}
+	if c.ValBytes == 0 {
+		c.ValBytes = 64
+	}
+	if c.GetFrac == 0 {
+		c.GetFrac = 0.9
+	}
+	if c.GetFrac < 0 || c.GetFrac > 1 {
+		return c, fmt.Errorf("zkv: get fraction %v outside [0,1]", c.GetFrac)
+	}
+	if c.Pipeline == 0 {
+		c.Pipeline = 16
+	}
+	if c.Clients < 0 || c.Ops < 0 || c.KeySpace < 1 || c.ValBytes < 0 || c.Pipeline < 1 {
+		return c, fmt.Errorf("zkv: invalid load config %+v", c)
+	}
+	return c, nil
+}
+
+// LoadReport is RunLoad's outcome.
+type LoadReport struct {
+	Ops       int
+	Gets      int
+	Sets      int
+	Hits      int
+	Misses    int
+	Errors    int
+	Wall      time.Duration
+	OpsPerSec float64
+}
+
+// RunLoad opens cfg.Clients pipelined connections and drives cfg.Ops mixed
+// GET/SET operations, returning aggregate throughput. Each client draws keys
+// from a seeded xorshift stream, so runs are reproducible op-for-op.
+func RunLoad(cfg LoadConfig) (LoadReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return LoadReport{}, err
+	}
+	type result struct {
+		gets, sets, hits, misses, errs int
+		err                            error
+	}
+	results := make([]result, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			res := &results[ci]
+			cl, err := zkvproto.Dial(cfg.Addr)
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer cl.Close()
+
+			ops := cfg.Ops / cfg.Clients
+			if ci < cfg.Ops%cfg.Clients {
+				ops++
+			}
+			// GetFrac as a threshold over the low 16 bits of the op's
+			// random draw: deterministic, no float per op.
+			getCut := uint64(cfg.GetFrac * 65536)
+			rng := hash.Mix64(cfg.Seed ^ (uint64(ci)+1)*0x9e3779b97f4a7c15)
+			key := make([]byte, 8)
+			val := make([]byte, cfg.ValBytes)
+			kinds := make([]bool, 0, cfg.Pipeline) // true = GET
+			sent := 0
+			for sent < ops {
+				kinds = kinds[:0]
+				for len(kinds) < cfg.Pipeline && sent+len(kinds) < ops {
+					// xorshift64*
+					rng ^= rng >> 12
+					rng ^= rng << 25
+					rng ^= rng >> 27
+					draw := rng * 0x2545f4914f6cdd1d
+					binary.BigEndian.PutUint64(key, draw%uint64(cfg.KeySpace))
+					if draw>>48&0xffff < getCut {
+						if err := cl.QueueGet(key); err != nil {
+							res.err = err
+							return
+						}
+						kinds = append(kinds, true)
+					} else {
+						if err := cl.QueueSet(key, val); err != nil {
+							res.err = err
+							return
+						}
+						kinds = append(kinds, false)
+					}
+				}
+				if err := cl.Flush(); err != nil {
+					res.err = err
+					return
+				}
+				for _, isGet := range kinds {
+					resp, err := cl.ReadReply()
+					if err != nil {
+						res.err = err
+						return
+					}
+					switch {
+					case isGet && resp.Status == zkvproto.StatusOK:
+						res.gets++
+						res.hits++
+					case isGet && resp.Status == zkvproto.StatusNotFound:
+						res.gets++
+						res.misses++
+					case !isGet && resp.Status == zkvproto.StatusOK:
+						res.sets++
+					default:
+						res.errs++
+					}
+				}
+				sent += len(kinds)
+			}
+		}(ci)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := LoadReport{Wall: wall}
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return rep, fmt.Errorf("zkv: load client %d: %w", i, r.err)
+		}
+		rep.Gets += r.gets
+		rep.Sets += r.sets
+		rep.Hits += r.hits
+		rep.Misses += r.misses
+		rep.Errors += r.errs
+	}
+	rep.Ops = rep.Gets + rep.Sets
+	if wall > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / wall.Seconds()
+	}
+	return rep, nil
+}

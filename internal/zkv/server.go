@@ -1,0 +1,309 @@
+package zkv
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zcache/internal/zkvproto"
+)
+
+// ServerConfig sizes a Server around an open Store.
+type ServerConfig struct {
+	// Addr is the TCP listen address for ListenAndServe (default
+	// "127.0.0.1:7171").
+	Addr string
+	// MaxConns bounds concurrently served connections (default
+	// 4*GOMAXPROCS). The accept loop blocks — rather than drops — when the
+	// pool is full, so clients queue instead of erroring.
+	MaxConns int
+	// DrainTimeout is how long Shutdown lets connections finish buffered
+	// and in-flight requests before they are closed (default 5s).
+	DrainTimeout time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:7171"
+	}
+	if c.MaxConns == 0 {
+		c.MaxConns = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Server serves the zkvproto protocol over TCP against one Store. Requests
+// on a connection are answered strictly in order; responses are flushed when
+// the connection's read buffer drains, so pipelined bursts get one flush.
+type Server struct {
+	store *Store
+	cfg   ServerConfig
+
+	sem        chan struct{} // bounded worker pool: one slot per live conn
+	inShutdown atomic.Bool
+	wg         sync.WaitGroup
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+
+	connsTotal    atomic.Uint64
+	requestsTotal atomic.Uint64
+	protoErrors   atomic.Uint64
+}
+
+// NewServer wraps store in a protocol server.
+func NewServer(store *Store, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		store: store,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxConns),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Addr returns the bound listen address once Serve or ListenAndServe has a
+// listener, or "" before that. Useful with ":0" configs.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// ErrServerClosed is returned by Serve after a graceful Shutdown.
+var ErrServerClosed = errors.New("zkv: server closed")
+
+// ListenAndServe binds cfg.Addr and serves until Shutdown or a fatal
+// listener error.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown. Each connection is served
+// by one goroutine from the bounded pool.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.inShutdown.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		s.sem <- struct{}{} // reserve a pool slot before accepting
+		conn, err := ln.Accept()
+		if err != nil {
+			<-s.sem
+			if s.inShutdown.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.inShutdown.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			<-s.sem
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connsTotal.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+				<-s.sem
+				s.wg.Done()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting, then lets live connections drain buffered and
+// in-flight requests for up to DrainTimeout before closing them. It returns
+// nil once every connection has finished, or ctx.Err() if ctx expires first
+// (connections are then closed immediately).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.inShutdown.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for conn := range s.conns {
+		// Unblock handlers parked in a read: already-buffered pipelined
+		// frames still get decoded and answered; only waiting for *new*
+		// bytes times out.
+		conn.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// serveConn runs one connection's request loop. All per-request state is
+// reused across iterations, so the steady-state loop does not allocate.
+func (s *Server) serveConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var (
+		req  zkvproto.Request
+		resp zkvproto.Response
+		dst  []byte
+	)
+	for {
+		err := req.ReadFrom(br)
+		if err != nil {
+			if perr := protoError(err); perr != "" {
+				// Tell the peer why before hanging up.
+				s.protoErrors.Add(1)
+				resp.Status = zkvproto.StatusErr
+				resp.Val = append(resp.Val[:0], perr...)
+				if resp.WriteTo(bw) == nil {
+					bw.Flush()
+				}
+			}
+			return
+		}
+		s.requestsTotal.Add(1)
+
+		switch req.Op {
+		case zkvproto.OpGet:
+			var ok bool
+			dst, ok = s.store.Get(req.Key, dst[:0])
+			if ok {
+				resp.Status = zkvproto.StatusOK
+				resp.Val = dst
+			} else {
+				resp.Status = zkvproto.StatusNotFound
+				resp.Val = resp.Val[:0]
+			}
+		case zkvproto.OpSet:
+			if err := s.store.Set(req.Key, req.Val); err != nil {
+				resp.Status = zkvproto.StatusErr
+				resp.Val = append(resp.Val[:0], err.Error()...)
+			} else {
+				resp.Status = zkvproto.StatusOK
+				resp.Val = resp.Val[:0]
+			}
+		case zkvproto.OpDel:
+			if s.store.Delete(req.Key) {
+				resp.Status = zkvproto.StatusOK
+			} else {
+				resp.Status = zkvproto.StatusNotFound
+			}
+			resp.Val = resp.Val[:0]
+		case zkvproto.OpStats:
+			resp.Status = zkvproto.StatusOK
+			resp.Val = s.appendMetrics(resp.Val[:0])
+		case zkvproto.OpPing:
+			resp.Status = zkvproto.StatusOK
+			resp.Val = resp.Val[:0]
+		}
+		if resp.WriteTo(bw) != nil {
+			return
+		}
+		// Pipelining: only pay the flush syscall once the client's burst
+		// is fully consumed.
+		if br.Buffered() == 0 {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// protoError returns a short message for protocol-level decode failures
+// worth reporting to the peer, and "" for plain disconnects/timeouts.
+func protoError(err error) string {
+	switch {
+	case errors.Is(err, zkvproto.ErrBadOp),
+		errors.Is(err, zkvproto.ErrBadFrame),
+		errors.Is(err, zkvproto.ErrFrameTooLarge):
+		return err.Error()
+	default:
+		return ""
+	}
+}
+
+// MetricsText renders the metrics text the STATS op returns; cmd/zcached's
+// -metrics HTTP endpoint serves the same bytes.
+func (s *Server) MetricsText() []byte { return s.appendMetrics(nil) }
+
+// appendMetrics renders the Prometheus-style counter text served by the
+// STATS op (and cmd/zcached's -metrics endpoint).
+func (s *Server) appendMetrics(dst []byte) []byte {
+	st := s.store.Stats()
+	line := func(name string, v uint64) {
+		dst = append(dst, name...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, v, 10)
+		dst = append(dst, '\n')
+	}
+	line("zkv_shards", uint64(st.Shards))
+	line("zkv_capacity_entries", uint64(st.Capacity))
+	line("zkv_resident_entries", uint64(st.Resident))
+	line("zkv_gets_total", st.Gets)
+	line("zkv_get_hits_total", st.GetHits)
+	line("zkv_get_misses_total", st.GetMisses)
+	line("zkv_sets_total", st.Sets)
+	line("zkv_inserts_total", st.Inserts)
+	line("zkv_overwrites_total", st.Overwrites)
+	line("zkv_dels_total", st.Dels)
+	line("zkv_del_hits_total", st.DelHits)
+	line("zkv_evictions_total", st.Evictions)
+	line("zkv_relocations_total", st.Relocations)
+	line("zkv_key_collisions_total", st.Collisions)
+	line("zkv_conns_total", s.connsTotal.Load())
+	line("zkv_requests_total", s.requestsTotal.Load())
+	line("zkv_proto_errors_total", s.protoErrors.Load())
+	for i, v := range st.WalkDepth {
+		label := fmt.Sprintf(`zkv_walk_depth_bucket{depth="%d"}`, i)
+		if i == WalkHistBuckets-1 {
+			label = fmt.Sprintf(`zkv_walk_depth_bucket{depth="%d+"}`, i)
+		}
+		line(label, v)
+	}
+	return dst
+}

@@ -1,0 +1,285 @@
+package zkv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"zcache/internal/zkvproto"
+)
+
+// startServer runs a server on an ephemeral port and returns it with its
+// address and the Serve error channel.
+func startServer(t *testing.T, scfg ServerConfig) (*Server, string, chan error) {
+	t.Helper()
+	store, err := Open(Config{Shards: 2, Ways: 4, Rows: 256, Levels: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, scfg)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	return srv, ln.Addr().String(), errc
+}
+
+func shutdownServer(t *testing.T, srv *Server, errc chan error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+}
+
+func TestServerBasicOps(t *testing.T) {
+	srv, addr, errc := startServer(t, ServerConfig{})
+	defer shutdownServer(t, srv, errc)
+
+	cl, err := zkvproto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Set([]byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cl.Get([]byte("alpha"), nil)
+	if err != nil || !ok || string(v) != "one" {
+		t.Fatalf("Get = %q, %t, %v", v, ok, err)
+	}
+	if _, ok, err := cl.Get([]byte("beta"), nil); err != nil || ok {
+		t.Fatalf("missing key: ok=%t err=%v", ok, err)
+	}
+	if ok, err := cl.Del([]byte("alpha")); err != nil || !ok {
+		t.Fatalf("Del = %t, %v", ok, err)
+	}
+	if ok, err := cl.Del([]byte("alpha")); err != nil || ok {
+		t.Fatalf("second Del = %t, %v", ok, err)
+	}
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"zkv_gets_total 2", "zkv_sets_total 1", "zkv_dels_total 2",
+		"zkv_requests_total", "zkv_walk_depth_bucket",
+	} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("metrics missing %q:\n%s", want, stats)
+		}
+	}
+}
+
+func TestServerPipelining(t *testing.T) {
+	srv, addr, errc := startServer(t, ServerConfig{})
+	defer shutdownServer(t, srv, errc)
+
+	cl, err := zkvproto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := cl.QueueSet([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		resp, err := cl.ReadReply()
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if resp.Status != zkvproto.StatusOK {
+			t.Fatalf("reply %d: status %d %q", i, resp.Status, resp.Val)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := cl.QueueGet([]byte(fmt.Sprintf("k%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		resp, err := cl.ReadReply()
+		if err != nil {
+			t.Fatalf("get reply %d: %v", i, err)
+		}
+		if resp.Status == zkvproto.StatusOK {
+			hits++
+			if want := fmt.Sprintf("v%03d", i); string(resp.Val) != want {
+				t.Fatalf("get %d = %q, want %q", i, resp.Val, want)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no pipelined GET hits")
+	}
+}
+
+func TestServerRejectsOversizedValue(t *testing.T) {
+	store, err := Open(Config{Shards: 1, Ways: 4, Rows: 64, MaxValBytes: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, ServerConfig{})
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	defer shutdownServer(t, srv, errc)
+
+	cl, err := zkvproto.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Set([]byte("k"), make([]byte, 4096))
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized set: %v", err)
+	}
+	// The connection survives the rejected request.
+	if err := cl.Set([]byte("k"), []byte("small")); err != nil {
+		t.Fatalf("follow-up set: %v", err)
+	}
+}
+
+func TestServerGracefulDrain(t *testing.T) {
+	srv, addr, errc := startServer(t, ServerConfig{DrainTimeout: 2 * time.Second})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	cl := zkvproto.NewClient(conn)
+
+	// Queue a pipelined burst and flush it, then immediately shut down.
+	// The server must answer every request before the connection dies.
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := cl.QueueSet([]byte(fmt.Sprintf("drain%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sdErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		sdErr <- srv.Shutdown(ctx)
+	}()
+
+	for i := 0; i < n; i++ {
+		resp, err := cl.ReadReply()
+		if err != nil {
+			t.Fatalf("drained reply %d: %v", i, err)
+		}
+		if resp.Status != zkvproto.StatusOK {
+			t.Fatalf("drained reply %d: status %d", i, resp.Status)
+		}
+	}
+	if err := <-sdErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve returned %v", err)
+	}
+	// New connections must be refused after shutdown.
+	if c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		c.Close()
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+func TestServerBoundedConns(t *testing.T) {
+	srv, addr, errc := startServer(t, ServerConfig{MaxConns: 2, DrainTimeout: time.Second})
+	defer shutdownServer(t, srv, errc)
+
+	// Fill the pool with two idle connections; a third client must still
+	// complete once a slot frees.
+	c1, err := zkvproto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := zkvproto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		c3, err := zkvproto.Dial(addr)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c3.Close()
+		done <- c3.Ping()
+	}()
+	// The third client is parked in the accept queue; free a slot.
+	time.Sleep(50 * time.Millisecond)
+	c1.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("queued client: %v", err)
+	}
+	c2.Close()
+}
+
+func TestRunLoad(t *testing.T) {
+	srv, addr, errc := startServer(t, ServerConfig{})
+	defer shutdownServer(t, srv, errc)
+
+	rep, err := RunLoad(LoadConfig{
+		Addr: addr, Clients: 4, Ops: 20000, KeySpace: 1024,
+		ValBytes: 32, GetFrac: 0.8, Pipeline: 16, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load saw %d errors", rep.Errors)
+	}
+	if rep.Ops != 20000 {
+		t.Fatalf("completed %d ops, want 20000", rep.Ops)
+	}
+	if rep.Gets == 0 || rep.Sets == 0 || rep.Hits == 0 {
+		t.Fatalf("degenerate mix: %+v", rep)
+	}
+	if rep.OpsPerSec <= 0 {
+		t.Fatalf("ops/s = %v", rep.OpsPerSec)
+	}
+}

@@ -1,0 +1,178 @@
+package zkvproto
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+)
+
+// Client is a pipelining zcached client. Queue* methods buffer request
+// frames without touching the network; Flush pushes them out, and ReadReply
+// consumes responses in request order. The convenience Get/Set/Del helpers
+// do one round trip each.
+//
+// A Client is not safe for concurrent use; run one per goroutine.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	req     Request
+	resp    Response
+	pending int
+}
+
+// Dial connects to a zcached server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Pending reports how many queued requests still await a reply.
+func (c *Client) Pending() int { return c.pending }
+
+func (c *Client) queue(op byte, key, val []byte) error {
+	c.req.Op, c.req.Key, c.req.Val = op, key, val
+	if err := c.req.WriteTo(c.bw); err != nil {
+		return err
+	}
+	c.pending++
+	return nil
+}
+
+// QueueGet buffers a GET without flushing.
+func (c *Client) QueueGet(key []byte) error { return c.queue(OpGet, key, nil) }
+
+// QueueSet buffers a SET without flushing.
+func (c *Client) QueueSet(key, val []byte) error { return c.queue(OpSet, key, val) }
+
+// QueueDel buffers a DEL without flushing.
+func (c *Client) QueueDel(key []byte) error { return c.queue(OpDel, key, nil) }
+
+// Flush writes all buffered requests to the connection.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// ReadReply reads the next in-order response. The returned Response's Val
+// aliases an internal buffer valid until the next ReadReply.
+func (c *Client) ReadReply() (*Response, error) {
+	if c.pending == 0 {
+		return nil, fmt.Errorf("zkvproto: ReadReply with no pending requests")
+	}
+	if err := c.resp.ReadFrom(c.br); err != nil {
+		return nil, err
+	}
+	c.pending--
+	return &c.resp, nil
+}
+
+// Get does one GET round trip, appending the value to dst.
+func (c *Client) Get(key, dst []byte) ([]byte, bool, error) {
+	if err := c.QueueGet(key); err != nil {
+		return dst, false, err
+	}
+	if err := c.Flush(); err != nil {
+		return dst, false, err
+	}
+	resp, err := c.ReadReply()
+	if err != nil {
+		return dst, false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return append(dst, resp.Val...), true, nil
+	case StatusNotFound:
+		return dst, false, nil
+	default:
+		return dst, false, fmt.Errorf("zkvproto: server error: %s", resp.Val)
+	}
+}
+
+// Set does one SET round trip.
+func (c *Client) Set(key, val []byte) error {
+	if err := c.QueueSet(key, val); err != nil {
+		return err
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	resp, err := c.ReadReply()
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("zkvproto: server error: %s", resp.Val)
+	}
+	return nil
+}
+
+// Del does one DEL round trip; ok reports whether the key was resident.
+func (c *Client) Del(key []byte) (bool, error) {
+	if err := c.QueueDel(key); err != nil {
+		return false, err
+	}
+	if err := c.Flush(); err != nil {
+		return false, err
+	}
+	resp, err := c.ReadReply()
+	if err != nil {
+		return false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return true, nil
+	case StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("zkvproto: server error: %s", resp.Val)
+	}
+}
+
+// Ping does one PING round trip.
+func (c *Client) Ping() error {
+	if err := c.queue(OpPing, nil, nil); err != nil {
+		return err
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	resp, err := c.ReadReply()
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("zkvproto: server error: %s", resp.Val)
+	}
+	return nil
+}
+
+// Stats does one STATS round trip and returns the metrics text.
+func (c *Client) Stats() (string, error) {
+	if err := c.queue(OpStats, nil, nil); err != nil {
+		return "", err
+	}
+	if err := c.Flush(); err != nil {
+		return "", err
+	}
+	resp, err := c.ReadReply()
+	if err != nil {
+		return "", err
+	}
+	if resp.Status != StatusOK {
+		return "", fmt.Errorf("zkvproto: server error: %s", resp.Val)
+	}
+	return string(resp.Val), nil
+}
