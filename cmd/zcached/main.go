@@ -11,6 +11,13 @@
 // With -metrics ADDR, a plain-text metrics endpoint (the same counter text
 // the STATS op returns) is served at http://ADDR/metrics.
 //
+// With -persist DIR, every shard mirrors its slot cells into an mmap-backed
+// slotstore file under DIR. A graceful shutdown checkpoints and clean-marks
+// the files, so the next boot warm-restores the cache; any abrupt death
+// (kill -9, power loss) leaves them marked dirty, and the next boot logs
+// the rebuild signal and starts those shards cold — never serving a torn
+// image. -persist-sync bounds page-cache loss by msyncing every mutation.
+//
 // Exit codes: 0 on clean shutdown (including signal-triggered), 1 on
 // configuration or runtime failure.
 package main
@@ -52,6 +59,9 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		maxVal   = fs.Int("max-val", 1<<20, "max value size in bytes")
 		drain    = fs.Duration("drain", 5*time.Second, "shutdown drain window for in-flight requests")
 		metrics  = fs.String("metrics", "", "optional HTTP address serving /metrics (empty = off)")
+		persist  = fs.String("persist", "", "directory for mmap-backed persistent shards (empty = off); warm-restores valid shard images on boot")
+		psync    = fs.Bool("persist-sync", false, "msync every persisted mutation (crash-bounded loss, much slower)")
+		pcell    = fs.Int("persist-cell", 0, "persistent cell size in bytes incl. 16-byte header (0 = 4096); larger entries are served but not persisted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +75,7 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	store, err := zkv.Open(zkv.Config{
 		Shards: *shards, Ways: *ways, Rows: *rows, Levels: *levels,
 		Policy: pol, Seed: *seed, MaxValBytes: *maxVal,
+		PersistDir: *persist, PersistSync: *psync, PersistCellBytes: *pcell,
 	})
 	if err != nil {
 		return err
@@ -72,6 +83,10 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	cfg := store.Config()
 	lg.Printf("store: %d shards x %d ways x %d rows (capacity %d entries), policy %s, levels %d",
 		cfg.Shards, cfg.Ways, cfg.Rows, store.Capacity(), cfg.Policy, cfg.Levels)
+	if rep := store.Persist(); rep.Enabled {
+		lg.Printf("persist: %s — %d shards warm (%d entries restored), %d cold (%d rebuild signals)",
+			rep.Dir, rep.WarmShards, rep.WarmEntries, rep.ColdShards, rep.Rebuilds)
+	}
 
 	srv := zkv.NewServer(store, zkv.ServerConfig{
 		Addr: *addr, MaxConns: *maxConns, DrainTimeout: *drain,
@@ -118,6 +133,15 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	}
 	if msrv != nil {
 		msrv.Shutdown(sdCtx)
+	}
+	// The drain is complete: no request can touch the store anymore, so
+	// checkpoint and clean-mark the persistent shards. Only this path makes
+	// the next boot warm; any abrupt death leaves the dirty rebuild signal.
+	if err := store.Close(); err != nil {
+		return fmt.Errorf("persist close: %w", err)
+	}
+	if rep := store.Persist(); rep.Enabled {
+		lg.Printf("persist: shards marked clean")
 	}
 	lg.Printf("drained; bye")
 	return nil

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func skipNoPersist(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("persistence is linux-only")
+	}
+}
+
+// TestRunPersistWarmRestart drives the warm-restart contract end to end
+// through the real server lifecycle: boot with -persist, load keys, drain
+// gracefully (the clean-mark path), boot again on the same directory, and
+// require ≥ 90% of the loaded keys to be served warm with their exact
+// values.
+func TestRunPersistWarmRestart(t *testing.T) {
+	skipNoPersist(t)
+	dir := t.TempDir()
+	args := func(addr string) []string {
+		return []string{
+			"-addr", addr, "-shards", "2", "-rows", "512",
+			"-drain", "1s", "-seed", "9", "-persist", dir,
+		}
+	}
+
+	const n = 1000 // well under capacity 2*4*512 = 4096
+	var key [8]byte
+	mkVal := func(i int) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+
+	// Session 1: load and drain.
+	addr := freeAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, args(addr), os.Stderr) }()
+	cl := dialRetry(t, addr)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(key[:], uint64(i))
+		if err := cl.Set(key[:], mkVal(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Close()
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("session 1: %v", err)
+	}
+
+	// Session 2: reopen warm.
+	addr = freeAddr(t)
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	go func() { runErr <- run(ctx, args(addr), os.Stderr) }()
+	cl = dialRetry(t, addr)
+	defer cl.Close()
+	hits := 0
+	var dst []byte
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(key[:], uint64(i))
+		v, ok, err := cl.Get(key[:], dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = v
+		if !ok {
+			continue
+		}
+		if string(v) != string(mkVal(i)) {
+			t.Fatalf("key %d warm-served wrong value %q", i, v)
+		}
+		hits++
+	}
+	if hits < n*9/10 {
+		t.Fatalf("warm restart served %d/%d hits (< 90%%)", hits, n)
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("session 2: %v", err)
+	}
+}
+
+// TestRunPersistKillMinus9 proves the crash half of the contract with a
+// real process: SIGKILL zcached mid-load, restart on the same directory,
+// and require the server to come up serving only safe answers — for every
+// key either a miss (the rebuild signal emptied the shard) or the exact
+// value the loader wrote. A torn image must never surface.
+func TestRunPersistKillMinus9(t *testing.T) {
+	skipNoPersist(t)
+	if testing.Short() {
+		t.Skip("builds and kills a real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "zcached")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	addr := freeAddr(t)
+	cmd := exec.Command(bin,
+		"-addr", addr, "-shards", "2", "-rows", "512",
+		"-seed", "9", "-persist", dir)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	cl := dialRetry(t, addr)
+	var key [8]byte
+	mkVal := func(i int) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+	// Load continuously until the process dies under us: the kill lands
+	// mid-write with high probability.
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cmd.Process.Signal(syscall.SIGKILL)
+	}()
+	written := 0
+	for i := 0; ; i++ {
+		binary.BigEndian.PutUint64(key[:], uint64(i%4096))
+		if err := cl.Set(key[:], mkVal(i%4096)); err != nil {
+			break // connection died: the kill landed
+		}
+		written++
+	}
+	cl.Close()
+	cmd.Wait()
+	killed = true
+	if written == 0 {
+		t.Fatal("kill landed before any write")
+	}
+
+	// Restart in-process on the crashed directory.
+	addr = freeAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-addr", addr, "-shards", "2", "-rows", "512",
+			"-drain", "1s", "-seed", "9", "-persist", dir,
+		}, os.Stderr)
+	}()
+	cl = dialRetry(t, addr)
+	defer cl.Close()
+	var dst []byte
+	for i := 0; i < 4096; i++ {
+		binary.BigEndian.PutUint64(key[:], uint64(i))
+		v, ok, err := cl.Get(key[:], dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = v
+		if ok && string(v) != string(mkVal(i)) {
+			t.Fatalf("after kill -9 restart, key %d served wrong value %q", i, v)
+		}
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("restart session: %v", err)
+	}
+}

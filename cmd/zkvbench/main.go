@@ -6,8 +6,8 @@
 //	zkvbench -addr 127.0.0.1:7171 -clients 8 -ops 1000000 -get-frac 0.9
 //
 // opens -clients pipelined connections and drives a reproducible mixed
-// GET/SET stream, reporting ops/s, hit rate, and errors. A run with any
-// protocol error exits 2.
+// GET/SET stream, reporting ops/s, hit rate, p50/p99/p999 per-op latency,
+// and errors. A run with any protocol error exits 2.
 //
 // Equivalence replay:
 //
@@ -93,6 +93,8 @@ func run(args []string) int {
 	}
 	fmt.Printf("%d ops in %s: %.0f ops/s (%d gets, %d sets, hit rate %.3f, %d errors)\n",
 		rep.Ops, rep.Wall.Round(1000000), rep.OpsPerSec, rep.Gets, rep.Sets, hitRate, rep.Errors)
+	fmt.Printf("latency: p50 %s  p99 %s  p999 %s  max %s\n",
+		rep.P50, rep.P99, rep.P999, rep.PMax)
 	if rep.Errors > 0 {
 		return 2
 	}

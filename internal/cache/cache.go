@@ -294,6 +294,30 @@ func (c *Cache) Touch(id repl.BlockID, write bool) {
 // events (nil detaches). See SlotObserver.
 func (c *Cache) SetSlotObserver(o SlotObserver) { c.slotObs = o }
 
+// Adopt installs line directly into slot id without running the
+// replacement process: the warm-restart path, where a persisted shard
+// image restores each surviving line into exactly the slot it occupied
+// before the restart, reproducing the pre-shutdown tag array bit for bit.
+// The policy sees a normal insertion (adoption order becomes recency
+// order — per-slot replacement ranks are not persisted); hit/miss stats
+// are untouched. Only zcache arrays support adoption, the placement must
+// be one of line's own per-way slots, the slot must be empty, and the
+// line must not already be resident elsewhere.
+func (c *Cache) Adopt(id repl.BlockID, line uint64) error {
+	if c.zFast == nil {
+		return fmt.Errorf("cache: %s does not support adoption", c.array.Name())
+	}
+	if _, ok := c.zFast.Lookup(line); ok {
+		return fmt.Errorf("cache: line %#x is already resident", line)
+	}
+	if err := c.zFast.Adopt(id, line); err != nil {
+		return err
+	}
+	c.onInsert(id, line)
+	c.dirty[id] = false
+	return nil
+}
+
 // AccessBatch performs accs in order and returns the number of hits. It is
 // exactly equivalent to calling Access per element; batch drivers use it so
 // the per-access loop stays in one frame.

@@ -511,6 +511,30 @@ func (z *ZCache) Install(line uint64, cands []Candidate, victim int) ([]Move, er
 	return z.moves, nil
 }
 
+// Adopt places line directly into slot id, bypassing the replacement walk.
+// It is the warm-restart path: a persisted slot image is reloaded into
+// exactly the slot it occupied, so the tag array reproduces its pre-restart
+// state bit for bit. The placement must be legal — id in range, currently
+// empty, and one of line's own per-way slots (a slot store written against
+// a different geometry would otherwise plant lines where Lookup can never
+// find them, or worse, where a different line's probe would).
+func (z *ZCache) Adopt(id repl.BlockID, line uint64) error {
+	if int(id) < 0 || int(id) >= len(z.tags.e) {
+		return fmt.Errorf("cache: adopt slot %d outside [0,%d)", id, len(z.tags.e))
+	}
+	if z.tags.e[id].valid {
+		return fmt.Errorf("cache: adopt slot %d is occupied", id)
+	}
+	w, row := z.tags.wayRow(id)
+	if z.row(w, line) != row {
+		return fmt.Errorf("cache: line %#x does not hash to adopt slot %d (way %d row %d)",
+			line, id, w, row)
+	}
+	z.tags.e[id] = tagEntry{addr: line, valid: true}
+	z.ctr.TagWrites++
+	return nil
+}
+
 // Invalidate removes line if resident.
 func (z *ZCache) Invalidate(line uint64) (repl.BlockID, bool) {
 	for w := 0; w < z.tags.ways; w++ {

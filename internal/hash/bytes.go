@@ -1,5 +1,13 @@
 package hash
 
+// Bytes64Version is the compatibility version of Bytes64. The slotstore
+// persistence layer records fingerprints on disk and stamps this version in
+// the SLC1 header, so Bytes64's output is now an on-disk contract: any
+// change to its math must bump this constant (and update the golden vectors
+// in bytes_test.go), or old store files would validate against the wrong
+// fingerprints.
+const Bytes64Version uint32 = 1
+
 // Bytes64 folds an arbitrary byte string into a 64-bit fingerprint: FNV-1a
 // over the bytes, finalized with Mix64 so short keys still populate the high
 // bits. The live KV layer uses it to map keys onto the 64-bit line-address

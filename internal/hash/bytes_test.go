@@ -1,0 +1,36 @@
+package hash
+
+import "testing"
+
+// TestBytes64GoldenVectors pins Bytes64's exact output. These fingerprints
+// are persisted in slotstore SLC1 files (header hash version
+// Bytes64Version), so the function is a compatibility contract: if this
+// test fails, either revert the hash change or bump Bytes64Version and
+// re-pin the vectors — silently changing the math would make every
+// persisted shard validate against wrong fingerprints.
+func TestBytes64GoldenVectors(t *testing.T) {
+	if Bytes64Version != 1 {
+		t.Fatalf("Bytes64Version = %d; these golden vectors pin version 1", Bytes64Version)
+	}
+	vectors := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xc3817c016ba4ff30},
+		{"a", 0x5f29c2aadd9b8527},
+		{"ab", 0xac88143b44756305},
+		{"hello", 0xf3e8eec5eb46e500},
+		{"the zcache", 0x86aa1fefeab55b2a},
+		{"\x00", 0x71b8262bb6e2e086},
+		{"\xff\x00\xff", 0x1d8a340bd3ffe5c9},
+		{"0123456789abcdef0123456789abcdef", 0xb1b5dd58205cbbdc},
+	}
+	for _, v := range vectors {
+		if got := Bytes64([]byte(v.in)); got != v.want {
+			t.Errorf("Bytes64(%q) = %#016x, want %#016x", v.in, got, v.want)
+		}
+	}
+	if got := Bytes64(nil); got != vectors[0].want {
+		t.Errorf("Bytes64(nil) = %#016x, want %#016x (same as empty)", got, vectors[0].want)
+	}
+}

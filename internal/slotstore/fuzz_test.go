@@ -1,0 +1,112 @@
+package slotstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"zcache/internal/hash"
+)
+
+// fuzzConfig keeps the image small so the fuzzer explores structure, not
+// zero pages.
+func fuzzConfig() Config {
+	return Config{
+		Slots: 8, CellBytes: 64,
+		Seed: 11, Ways: 2, Levels: 1, Rows: 4,
+		Policy: 0, Shard: 0, ShardCount: 1,
+	}
+}
+
+// validImage builds a clean two-entry store file and returns its bytes.
+func validImage(tb testing.TB) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "seed.slc")
+	s, err := Create(path, fuzzConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i, k := range []string{"fuzz-a", "fuzz-b"} {
+		if err := s.Begin(); err != nil {
+			tb.Fatal(err)
+		}
+		kb := []byte(k)
+		if _, err := s.SetSlot(i, hash.Bytes64(kb), kb, []byte("v")); err != nil {
+			tb.Fatal(err)
+		}
+		if err := s.End(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := s.Close(true); err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzOpen feeds arbitrary bytes to Open as a store file. The contract
+// under attack: Open returns a usable store or a classified error
+// (ErrNeedsRebuild / ErrInvalidFormat / plain I/O error) — it never
+// panics, and a store it does return satisfies the format invariants
+// (every resident cell's fingerprint matches its stored key, so it cannot
+// serve a value under a wrong key).
+func FuzzOpen(f *testing.F) {
+	if !Supported() {
+		f.Skip("slotstore unsupported on this platform")
+	}
+	seed := validImage(f)
+	f.Add(seed)
+	f.Add(seed[:headerBytes])      // header only: every cell truncated away
+	f.Add(seed[:len(seed)-1])      // torn tail
+	f.Add([]byte("SLC1"))          // magic, nothing else
+	f.Add([]byte{})                // empty file
+	f.Add(make([]byte, len(seed))) // all zeroes at the right size
+	for _, off := range []int{offMagic, offVersion, offState, offHashVersion,
+		offGeneration, offSlots, offGeomSum, headerBytes, headerBytes + 8} {
+		flipped := append([]byte(nil), seed...)
+		flipped[off] ^= 0x41
+		f.Add(flipped)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.slc")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		s, err := Open(path, fuzzConfig())
+		if err != nil {
+			if errors.Is(err, ErrNeedsRebuild) || errors.Is(err, ErrInvalidFormat) {
+				return
+			}
+			// Plain I/O errors (e.g. mmap of an empty file) are acceptable;
+			// a store must simply never come back alongside an error.
+			if s != nil {
+				t.Fatalf("Open returned both a store and error %v", err)
+			}
+			return
+		}
+		defer s.Close(false)
+		// The store validated: re-check the no-wrong-values invariant from
+		// the outside.
+		n := 0
+		s.Range(func(slot int, fp uint64, key, val []byte) bool {
+			if got := hash.Bytes64(key); got != fp {
+				t.Fatalf("resident cell %d: fingerprint %#x, key hashes to %#x", slot, fp, got)
+			}
+			gotKey, _, ok := s.Lookup(fp)
+			if !ok || string(gotKey) != string(key) {
+				t.Fatalf("cell %d not reachable through its own index entry", slot)
+			}
+			n++
+			return true
+		})
+		if n != s.Resident() {
+			t.Fatalf("Range saw %d cells, Resident() = %d", n, s.Resident())
+		}
+	})
+}

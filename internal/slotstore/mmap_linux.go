@@ -1,0 +1,43 @@
+//go:build linux
+
+package slotstore
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+const supported = true
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmapFile(m []byte) error {
+	if m == nil {
+		return nil
+	}
+	return syscall.Munmap(m)
+}
+
+// msyncRange flushes the page-aligned span covering m[off:off+n] to the
+// backing file with MS_SYNC (synchronous writeback of the dirty pages).
+func msyncRange(m []byte, off, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	page := os.Getpagesize()
+	lo := off &^ (page - 1)
+	hi := off + n
+	if hi > len(m) {
+		hi = len(m)
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&m[lo])), uintptr(hi-lo), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

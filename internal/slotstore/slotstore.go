@@ -1,0 +1,762 @@
+// Package slotstore is the persistence layer behind zkv's warm restart: a
+// file-backed, mmap'd slot store in the slotcache "SLC1" style. One store
+// file mirrors one zkv shard — a dense array of fixed-size cells (key
+// fingerprint + stored key bytes + value bytes), indexed exactly like the
+// shard's tag array, plus a persisted fingerprint→slot hash index — so the
+// on-disk image tracks the in-memory cache slot for slot through eviction
+// and relocation chains.
+//
+// The format is correct-or-retry, never silently wrong:
+//
+//   - A seqlock generation counter in the header (even = stable snapshot,
+//     odd = write in progress) publishes single-writer mutations to
+//     multi-reader mmaps.
+//   - A clean/dirty lifecycle state gates reopening. The dirty mark is
+//     msync'd durably *before* the first mutation of a writer session, so
+//     any crash — power loss, kill -9, torn page write — leaves a file
+//     that Open refuses with ErrNeedsRebuild. Only a clean Close (or
+//     Checkpoint) marks the file clean again, after its data is synced.
+//   - Open validates the whole image under a stable even generation:
+//     magic, version, hash version, geometry stamp, file size, per-cell
+//     length bounds, fingerprint-vs-key agreement (hash.Bytes64), and a
+//     bidirectional cells↔index consistency check. Anything torn or
+//     foreign yields ErrNeedsRebuild or ErrInvalidFormat — never a store
+//     that could serve a wrong value.
+//
+// There is no WAL and no salvage mode: the cache is throwaway, the
+// authoritative data lives behind the cache, and the rebuild signal tells
+// the caller to start cold (SLC1's design point). Durability of individual
+// operations is only guaranteed after Checkpoint/Close; Config.SyncEveryOp
+// trades throughput for per-operation msync.
+//
+// Crash testing hooks: the failpoints "slotstore/create", "slotstore/msync",
+// "slotstore/write" (torn cell writes), and "slotstore/close" let the chaos
+// suite prove the contract — see internal/failpoint.
+package slotstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"unsafe"
+
+	"zcache/internal/failpoint"
+	"zcache/internal/hash"
+)
+
+// ErrNeedsRebuild means the file is structurally SLC1 but cannot be proven
+// safe to serve from — a dirty mark from a crashed writer, an odd (torn)
+// generation, a truncated tail, or a cells/index inconsistency. Callers
+// delete the file and rebuild cold from the authoritative source.
+var ErrNeedsRebuild = errors.New("slotstore: needs rebuild")
+
+// ErrInvalidFormat means the file is not a compatible SLC1 image at all:
+// wrong magic or version, a different hash.Bytes64 version, or a geometry
+// stamp that does not match the caller's configuration. Callers delete the
+// file and rebuild cold.
+var ErrInvalidFormat = errors.New("slotstore: invalid format")
+
+// Format constants. The header occupies one page so the cell and index
+// regions never share a page with the state machine fields.
+const (
+	// Magic identifies the format ("SLC1", the slotcache v1 lineage).
+	Magic = "SLC1"
+	// FormatVersion is the on-disk layout version.
+	FormatVersion = 1
+
+	headerBytes     = 4096
+	cellHeaderBytes = 16 // fp u64 | keyLen u16 | flags u16 | valLen u32
+	indexEntryBytes = 16 // fp u64 | slot+1 u32 | pad u32
+
+	flagResident = 1
+)
+
+// Lifecycle states (header field `state`).
+const (
+	// StateClean: the last checkpoint completed; the file may be opened
+	// (subject to validation).
+	StateClean uint32 = 0
+	// StateInvalidated: terminal; the file must be recreated.
+	StateInvalidated uint32 = 1
+	// StateDirty: a writer session is (or was, if it crashed) mutating the
+	// file; Open refuses it with ErrNeedsRebuild.
+	StateDirty uint32 = 2
+)
+
+// Header field offsets.
+const (
+	offMagic       = 0  // [4]byte
+	offVersion     = 4  // u32
+	offState       = 8  // u32
+	offHashVersion = 12 // u32
+	offGeneration  = 16 // u64, 8-aligned for atomic access
+	offSlots       = 24 // u64
+	offCellBytes   = 32 // u64
+	offSeed        = 40 // u64
+	offRows        = 48 // u64
+	offWays        = 56 // u32
+	offLevels      = 60 // u32
+	offPolicy      = 64 // u32
+	offShard       = 68 // u32
+	offShardCount  = 72 // u32
+	offGeomSum     = 80 // u64
+)
+
+// Config stamps a store file with the geometry of the cache it mirrors.
+// Every stamp field must match byte for byte at Open, or the file is
+// ErrInvalidFormat: a slot array is only meaningful relative to the exact
+// hash seeds and shard routing that produced it.
+type Config struct {
+	// Slots is the cell count — the mirrored cache's Blocks() (required).
+	Slots int
+	// CellBytes is the fixed size of one cell, including its 16-byte
+	// header (default 4096). Entries whose header+key+value exceed it are
+	// simply not persisted (the cell is cleared): cache semantics, the
+	// entry is cold after a restart.
+	CellBytes int
+	// SyncEveryOp forces an MS_SYNC msync of the mutated range after every
+	// End(), bounding page-cache loss at a large throughput cost. The
+	// clean/dirty contract holds either way.
+	SyncEveryOp bool
+
+	// Geometry stamp: the H3 seed, array shape, policy, and shard routing
+	// of the mirrored zkv shard.
+	Seed       uint64
+	Ways       int
+	Levels     int
+	Rows       uint64
+	Policy     uint32
+	Shard      int
+	ShardCount int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CellBytes == 0 {
+		c.CellBytes = 4096
+	}
+	return c
+}
+
+func (c Config) check() error {
+	if c.Slots < 1 || c.Slots > 1<<28 {
+		return fmt.Errorf("slotstore: slot count %d outside [1, 2^28]", c.Slots)
+	}
+	if c.CellBytes < cellHeaderBytes+16 || c.CellBytes > 1<<26 {
+		return fmt.Errorf("slotstore: cell size %d outside [%d, 2^26]", c.CellBytes, cellHeaderBytes+16)
+	}
+	return nil
+}
+
+// geomSum folds every stamp-relevant field into one checksum, so a file
+// whose individual fields were bit-flipped into a self-consistent-looking
+// combination still fails fast.
+func (c Config) geomSum() uint64 {
+	h := hash.Mix64(uint64(c.Slots))
+	h = hash.Mix64(h ^ uint64(c.CellBytes))
+	h = hash.Mix64(h ^ c.Seed)
+	h = hash.Mix64(h ^ uint64(c.Ways)<<32 ^ uint64(c.Levels))
+	h = hash.Mix64(h ^ c.Rows)
+	h = hash.Mix64(h ^ uint64(c.Policy))
+	h = hash.Mix64(h ^ uint64(c.Shard)<<32 ^ uint64(c.ShardCount))
+	h = hash.Mix64(h ^ uint64(hash.Bytes64Version))
+	return h
+}
+
+// indexBuckets sizes the persisted hash index: the next power of two at or
+// above 2×slots, so the load factor never exceeds 1/2 and linear probes
+// always terminate at an empty bucket.
+func indexBuckets(slots int) uint64 {
+	n := uint64(8)
+	for n < 2*uint64(slots) {
+		n <<= 1
+	}
+	return n
+}
+
+func fileSize(cfg Config) int64 {
+	return int64(headerBytes) +
+		int64(indexBuckets(cfg.Slots))*indexEntryBytes +
+		int64(cfg.Slots)*int64(cfg.CellBytes)
+}
+
+// Supported reports whether this platform has the mmap backend. On
+// unsupported platforms Create and Open fail cleanly.
+func Supported() bool { return supported }
+
+// Store is one open SLC1 file: a single writer (the owning zkv shard,
+// under its mutex) and any number of mmap readers. Mutations happen
+// between Begin and End, which bracket them in the seqlock generation.
+type Store struct {
+	path     string
+	cfg      Config
+	f        *os.File
+	m        []byte
+	buckets  uint64
+	idxBase  int
+	cellBase int
+	resident int
+
+	// dirtyDurable records that this session's dirty mark has been
+	// msync'd: the precondition for mutating the image (a crash after any
+	// mutation must find a dirty file on disk).
+	dirtyDurable bool
+	// everDirtied lets a read-only session (Open, Range, Close) leave the
+	// file bit-identical.
+	everDirtied bool
+	// tHi is the high-water byte offset mutated since the last sync; the
+	// synced range is [0, tHi) so the header rides along.
+	tHi int
+}
+
+// Create builds a fresh store file for cfg at path, replacing whatever was
+// there. The new file is born dirty (an active writer owns it) and the
+// dirty mark is synced before Create returns, so a crash at any later
+// point yields ErrNeedsRebuild, not a half-written "clean" image.
+func Create(path string, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	if err := failpoint.Inject("slotstore/create"); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	size := fileSize(cfg)
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	m, err := mmapFile(f, int(size))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s := newStore(path, cfg, f, m)
+	copy(m[offMagic:], Magic)
+	le.PutUint32(m[offVersion:], FormatVersion)
+	le.PutUint32(m[offHashVersion:], hash.Bytes64Version)
+	le.PutUint64(m[offSlots:], uint64(cfg.Slots))
+	le.PutUint64(m[offCellBytes:], uint64(cfg.CellBytes))
+	le.PutUint64(m[offSeed:], cfg.Seed)
+	le.PutUint64(m[offRows:], cfg.Rows)
+	le.PutUint32(m[offWays:], uint32(cfg.Ways))
+	le.PutUint32(m[offLevels:], uint32(cfg.Levels))
+	le.PutUint32(m[offPolicy:], cfg.Policy)
+	le.PutUint32(m[offShard:], uint32(cfg.Shard))
+	le.PutUint32(m[offShardCount:], uint32(cfg.ShardCount))
+	le.PutUint64(m[offGeomSum:], cfg.geomSum())
+	s.setGen(0)
+	s.setState(StateDirty)
+	s.everDirtied = true
+	if err := s.msync(0, headerBytes); err != nil {
+		s.unmapClose()
+		return nil, err
+	}
+	s.dirtyDurable = true
+	return s, nil
+}
+
+// Open maps an existing store file and validates it end to end. It returns
+// a warm-usable store, or ErrNeedsRebuild (crashed writer, torn image,
+// cells/index inconsistency), or ErrInvalidFormat (not a compatible SLC1
+// image for cfg), or a plain I/O error. It never panics on hostile bytes
+// and never returns a store whose contents violate the format invariants.
+//
+// Open itself mutates nothing: a validated file that is then closed with
+// Close(true) before any Begin stays bit-identical.
+func Open(path string, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < headerBytes {
+		f.Close()
+		return nil, fmt.Errorf("%w: %d-byte file is smaller than the header", ErrInvalidFormat, st.Size())
+	}
+	m, err := mmapFile(f, int(st.Size()))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s := newStore(path, cfg, f, m)
+	if err := s.validate(st.Size()); err != nil {
+		s.unmapClose()
+		return nil, err
+	}
+	return s, nil
+}
+
+func newStore(path string, cfg Config, f *os.File, m []byte) *Store {
+	buckets := indexBuckets(cfg.Slots)
+	return &Store{
+		path:     path,
+		cfg:      cfg,
+		f:        f,
+		m:        m,
+		buckets:  buckets,
+		idxBase:  headerBytes,
+		cellBase: headerBytes + int(buckets)*indexEntryBytes,
+		tHi:      headerBytes,
+	}
+}
+
+var le = binary.LittleEndian
+
+// validate is Open's whole-image check, run before the store is handed to
+// a caller. Size and stamp mismatches are classified first; everything
+// after runs on a correctly-sized image.
+func (s *Store) validate(size int64) error {
+	m := s.m
+	if string(m[offMagic:offMagic+4]) != Magic {
+		return fmt.Errorf("%w: bad magic %q", ErrInvalidFormat, m[offMagic:offMagic+4])
+	}
+	if v := le.Uint32(m[offVersion:]); v != FormatVersion {
+		return fmt.Errorf("%w: version %d (want %d)", ErrInvalidFormat, v, FormatVersion)
+	}
+	if v := le.Uint32(m[offHashVersion:]); v != hash.Bytes64Version {
+		return fmt.Errorf("%w: hash version %d (this build fingerprints with version %d)",
+			ErrInvalidFormat, v, hash.Bytes64Version)
+	}
+	cfg := s.cfg
+	stamp := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"slots", le.Uint64(m[offSlots:]), uint64(cfg.Slots)},
+		{"cell bytes", le.Uint64(m[offCellBytes:]), uint64(cfg.CellBytes)},
+		{"seed", le.Uint64(m[offSeed:]), cfg.Seed},
+		{"rows", le.Uint64(m[offRows:]), cfg.Rows},
+		{"ways", uint64(le.Uint32(m[offWays:])), uint64(cfg.Ways)},
+		{"levels", uint64(le.Uint32(m[offLevels:])), uint64(cfg.Levels)},
+		{"policy", uint64(le.Uint32(m[offPolicy:])), uint64(cfg.Policy)},
+		{"shard", uint64(le.Uint32(m[offShard:])), uint64(cfg.Shard)},
+		{"shard count", uint64(le.Uint32(m[offShardCount:])), uint64(cfg.ShardCount)},
+		{"geometry sum", le.Uint64(m[offGeomSum:]), cfg.geomSum()},
+	}
+	for _, f := range stamp {
+		if f.got != f.want {
+			return fmt.Errorf("%w: %s %d does not match configuration (%d)",
+				ErrInvalidFormat, f.name, f.got, f.want)
+		}
+	}
+	if want := fileSize(cfg); size != want {
+		return fmt.Errorf("%w: file is %d bytes, want %d (torn truncate?)", ErrNeedsRebuild, size, want)
+	}
+	switch st := s.State(); st {
+	case StateClean:
+	case StateDirty:
+		return fmt.Errorf("%w: file is marked dirty (writer crashed mid-session)", ErrNeedsRebuild)
+	case StateInvalidated:
+		return fmt.Errorf("%w: file is invalidated", ErrNeedsRebuild)
+	default:
+		return fmt.Errorf("%w: unknown lifecycle state %d", ErrNeedsRebuild, st)
+	}
+	if g := s.Generation(); g%2 != 0 {
+		return fmt.Errorf("%w: odd generation %d (torn publish)", ErrNeedsRebuild, g)
+	}
+
+	// Cells: bounds, fingerprint agreement, and index reachability.
+	resident := 0
+	for id := 0; id < cfg.Slots; id++ {
+		off := s.cellOff(id)
+		if le.Uint16(m[off+10:])&flagResident == 0 {
+			continue
+		}
+		kl := int(le.Uint16(m[off+8:]))
+		vl := int(le.Uint32(m[off+12:]))
+		if kl < 1 || cellHeaderBytes+kl+vl > cfg.CellBytes {
+			return fmt.Errorf("%w: cell %d has key %d + val %d bytes in a %d-byte cell",
+				ErrNeedsRebuild, id, kl, vl, cfg.CellBytes)
+		}
+		fp := le.Uint64(m[off:])
+		key := m[off+cellHeaderBytes : off+cellHeaderBytes+kl]
+		if got := hash.Bytes64(key); got != fp {
+			return fmt.Errorf("%w: cell %d fingerprint %#x does not match its key (%#x)",
+				ErrNeedsRebuild, id, fp, got)
+		}
+		if slot, ok := s.idxGet(fp); !ok || slot != id {
+			return fmt.Errorf("%w: cell %d (fp %#x) is not reachable through the index",
+				ErrNeedsRebuild, id, fp)
+		}
+		resident++
+	}
+	// Index: every occupied bucket must point back at a matching resident
+	// cell, and the counts must agree (no orphans, no duplicates).
+	occupied := 0
+	for b := uint64(0); b < s.buckets; b++ {
+		off := s.bucketOff(b)
+		sp := le.Uint32(m[off+8:])
+		if sp == 0 {
+			continue
+		}
+		occupied++
+		slot := int(sp - 1)
+		if slot < 0 || slot >= cfg.Slots {
+			return fmt.Errorf("%w: index bucket %d points at slot %d of %d",
+				ErrNeedsRebuild, b, slot, cfg.Slots)
+		}
+		coff := s.cellOff(slot)
+		if le.Uint16(m[coff+10:])&flagResident == 0 || le.Uint64(m[coff:]) != le.Uint64(m[off:]) {
+			return fmt.Errorf("%w: index bucket %d disagrees with cell %d", ErrNeedsRebuild, b, slot)
+		}
+	}
+	if occupied != resident {
+		return fmt.Errorf("%w: index holds %d entries for %d resident cells",
+			ErrNeedsRebuild, occupied, resident)
+	}
+	s.resident = resident
+	return nil
+}
+
+// --- accessors ---
+
+// Path returns the backing file path.
+func (s *Store) Path() string { return s.path }
+
+// Resident returns the number of resident cells.
+func (s *Store) Resident() int { return s.resident }
+
+// Generation reads the seqlock counter (even = stable snapshot).
+func (s *Store) Generation() uint64 {
+	return atomic.LoadUint64((*uint64)(unsafe.Pointer(&s.m[offGeneration])))
+}
+
+func (s *Store) setGen(v uint64) {
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(&s.m[offGeneration])), v)
+}
+
+// State reads the lifecycle state.
+func (s *Store) State() uint32 {
+	return atomic.LoadUint32((*uint32)(unsafe.Pointer(&s.m[offState])))
+}
+
+func (s *Store) setState(v uint32) {
+	atomic.StoreUint32((*uint32)(unsafe.Pointer(&s.m[offState])), v)
+}
+
+func (s *Store) cellOff(id int) int      { return s.cellBase + id*s.cfg.CellBytes }
+func (s *Store) bucketOff(b uint64) int  { return s.idxBase + int(b)*indexEntryBytes }
+func (s *Store) isResident(off int) bool { return le.Uint16(s.m[off+10:])&flagResident != 0 }
+func (s *Store) touch(hi int) {
+	if hi > s.tHi {
+		s.tHi = hi
+	}
+}
+
+// msync flushes the page-aligned span covering m[off:off+n] with MS_SYNC,
+// through the "slotstore/msync" failpoint.
+func (s *Store) msync(off, n int) error {
+	if err := failpoint.Inject("slotstore/msync"); err != nil {
+		return err
+	}
+	return msyncRange(s.m, off, n)
+}
+
+// --- writer session ---
+
+// Begin opens one mutation batch: it durably marks the file dirty if this
+// session has not yet, then bumps the generation to odd. A Begin error
+// means the dirty mark could not be proven durable — the caller must not
+// mutate the image (zkv detaches persistence for the shard and carries on
+// memory-only; the file, still stale-but-clean or dirty, stays safe).
+func (s *Store) Begin() error {
+	if !s.dirtyDurable {
+		s.setState(StateDirty)
+		s.everDirtied = true
+		if err := s.msync(0, headerBytes); err != nil {
+			return err
+		}
+		s.dirtyDurable = true
+	}
+	s.setGen(s.Generation() + 1)
+	return nil
+}
+
+// End closes the batch: generation back to even, and (in SyncEveryOp mode)
+// an msync of everything mutated since the last sync.
+func (s *Store) End() error {
+	s.setGen(s.Generation() + 1)
+	if s.cfg.SyncEveryOp {
+		hi := s.tHi
+		s.tHi = headerBytes
+		return s.msync(0, hi)
+	}
+	return nil
+}
+
+// SetSlot writes (fp, key, val) into cell id, replacing any previous
+// tenant. It reports whether the entry was persisted: an entry that does
+// not fit the cell is not an error — the cell is cleared and the entry is
+// simply cold after a restart. A non-nil error is an injected or real
+// write fault; the caller should stop persisting (the file is dirty, so
+// a future Open rebuilds). Must be called between Begin and End.
+func (s *Store) SetSlot(id int, fp uint64, key, val []byte) (persisted bool, err error) {
+	off := s.cellOff(id)
+	if s.isResident(off) {
+		s.idxDel(le.Uint64(s.m[off:]))
+		s.resident--
+	}
+	need := cellHeaderBytes + len(key) + len(val)
+	if need > s.cfg.CellBytes {
+		le.PutUint16(s.m[off+10:], 0)
+		s.touch(off + cellHeaderBytes)
+		return false, nil
+	}
+	act := failpoint.Eval("slotstore/write")
+	if act.Mode == failpoint.Error {
+		le.PutUint16(s.m[off+10:], 0)
+		s.touch(off + cellHeaderBytes)
+		return false, act.Err
+	}
+	vlen := len(val)
+	if act.Mode == failpoint.Torn && act.Truncate < vlen {
+		// Simulate a torn page write: the value's tail never reaches the
+		// cell, but the header claims it did. The session's dirty mark is
+		// what keeps this from ever being served.
+		vlen -= act.Truncate
+	}
+	m := s.m
+	le.PutUint64(m[off:], fp)
+	le.PutUint16(m[off+8:], uint16(len(key)))
+	le.PutUint16(m[off+10:], flagResident)
+	le.PutUint32(m[off+12:], uint32(len(val)))
+	copy(m[off+cellHeaderBytes:], key)
+	copy(m[off+cellHeaderBytes+len(key):], val[:vlen])
+	s.resident++
+	s.idxPut(fp, id)
+	s.touch(off + need)
+	if act.Mode == failpoint.Torn {
+		return true, act.Err
+	}
+	return true, nil
+}
+
+// ClearSlot empties cell id (eviction, deletion, or an oversized
+// overwrite). Must be called between Begin and End.
+func (s *Store) ClearSlot(id int) {
+	off := s.cellOff(id)
+	if !s.isResident(off) {
+		return
+	}
+	s.idxDel(le.Uint64(s.m[off:]))
+	s.resident--
+	le.PutUint16(s.m[off+10:], 0)
+	s.touch(off + cellHeaderBytes)
+}
+
+// MoveSlot mirrors a relocation: cell from's entry slides into cell to
+// (which a preceding eviction or move vacated), and the index follows.
+// A non-resident source (an entry that was too large to persist) clears
+// the destination instead. Must be called between Begin and End.
+func (s *Store) MoveSlot(from, to int) {
+	fromOff, toOff := s.cellOff(from), s.cellOff(to)
+	if s.isResident(toOff) {
+		// Defensive: the destination should already be vacated.
+		s.idxDel(le.Uint64(s.m[toOff:]))
+		s.resident--
+	}
+	if !s.isResident(fromOff) {
+		le.PutUint16(s.m[toOff+10:], 0)
+		s.touch(toOff + cellHeaderBytes)
+		return
+	}
+	kl := int(le.Uint16(s.m[fromOff+8:]))
+	vl := int(le.Uint32(s.m[fromOff+12:]))
+	n := cellHeaderBytes + kl + vl
+	copy(s.m[toOff:toOff+n], s.m[fromOff:fromOff+n])
+	le.PutUint16(s.m[fromOff+10:], 0)
+	s.idxSet(le.Uint64(s.m[toOff:]), to)
+	s.touch(toOff + n)
+	s.touch(fromOff + cellHeaderBytes)
+}
+
+// Lookup finds fp through the persisted index and returns views into the
+// mapped cell (valid until the next mutation). Intended for tools and
+// tests; the live shard serves from memory.
+func (s *Store) Lookup(fp uint64) (key, val []byte, ok bool) {
+	slot, ok := s.idxGet(fp)
+	if !ok {
+		return nil, nil, false
+	}
+	off := s.cellOff(slot)
+	kl := int(le.Uint16(s.m[off+8:]))
+	vl := int(le.Uint32(s.m[off+12:]))
+	return s.m[off+cellHeaderBytes : off+cellHeaderBytes+kl],
+		s.m[off+cellHeaderBytes+kl : off+cellHeaderBytes+kl+vl], true
+}
+
+// Range calls fn for every resident cell in slot order, with key and val
+// aliasing the mapped file (copy before retaining). It stops early if fn
+// returns false.
+func (s *Store) Range(fn func(slot int, fp uint64, key, val []byte) bool) {
+	for id := 0; id < s.cfg.Slots; id++ {
+		off := s.cellOff(id)
+		if !s.isResident(off) {
+			continue
+		}
+		kl := int(le.Uint16(s.m[off+8:]))
+		vl := int(le.Uint32(s.m[off+12:]))
+		if !fn(id, le.Uint64(s.m[off:]),
+			s.m[off+cellHeaderBytes:off+cellHeaderBytes+kl],
+			s.m[off+cellHeaderBytes+kl:off+cellHeaderBytes+kl+vl]) {
+			return
+		}
+	}
+}
+
+// Checkpoint publishes a durable clean snapshot: data msync first, then
+// the clean mark, then the header msync. On error the in-memory state
+// reverts to dirty and the next Begin re-proves the dirty mark durable.
+func (s *Store) Checkpoint() error {
+	if err := s.msync(0, len(s.m)); err != nil {
+		return err
+	}
+	s.setState(StateClean)
+	if err := s.msync(0, headerBytes); err != nil {
+		s.setState(StateDirty)
+		s.dirtyDurable = false
+		return err
+	}
+	// The file is clean on disk; the next mutation must re-mark it dirty
+	// durably before touching cells.
+	s.dirtyDurable = false
+	s.everDirtied = false
+	return nil
+}
+
+// Close unmaps and closes the file. clean=true first checkpoints, so the
+// next Open is warm; clean=false leaves the lifecycle state as-is (a
+// dirtied session therefore reopens as ErrNeedsRebuild — the crash path).
+// A session that never mutated the file leaves it bit-identical either
+// way. The "slotstore/close" failpoint turns a clean close into a crashed
+// one, for the chaos suite.
+func (s *Store) Close(clean bool) error {
+	if s.m == nil {
+		return nil
+	}
+	var err error
+	if e := failpoint.Inject("slotstore/close"); e != nil {
+		err, clean = e, false
+	}
+	if clean && s.everDirtied {
+		if e := s.Checkpoint(); e != nil && err == nil {
+			err = e
+		}
+	}
+	if e := s.unmapClose(); e != nil && err == nil {
+		err = e
+	}
+	return err
+}
+
+func (s *Store) unmapClose() error {
+	err := munmapFile(s.m)
+	s.m = nil
+	if e := s.f.Close(); e != nil && err == nil {
+		err = e
+	}
+	return err
+}
+
+// --- persisted fingerprint→slot index (open addressing, linear probes,
+// back-shift deletion; load factor ≤ 1/2 by construction) ---
+
+func (s *Store) idxGet(fp uint64) (int, bool) {
+	mask := s.buckets - 1
+	// Probe count is bounded so a hostile image with every bucket occupied
+	// (validate runs idxGet on unvalidated bytes) terminates as a miss.
+	for b, n := fp&mask, uint64(0); n < s.buckets; b, n = (b+1)&mask, n+1 {
+		off := s.bucketOff(b)
+		sp := le.Uint32(s.m[off+8:])
+		if sp == 0 {
+			return 0, false
+		}
+		if le.Uint64(s.m[off:]) == fp {
+			return int(sp - 1), true
+		}
+	}
+	return 0, false
+}
+
+func (s *Store) idxPut(fp uint64, slot int) {
+	mask := s.buckets - 1
+	for b := fp & mask; ; b = (b + 1) & mask {
+		off := s.bucketOff(b)
+		sp := le.Uint32(s.m[off+8:])
+		if sp == 0 || le.Uint64(s.m[off:]) == fp {
+			le.PutUint64(s.m[off:], fp)
+			le.PutUint32(s.m[off+8:], uint32(slot)+1)
+			s.touch(off + indexEntryBytes)
+			return
+		}
+	}
+}
+
+// idxSet updates an existing entry's slot in place (relocations).
+func (s *Store) idxSet(fp uint64, slot int) {
+	mask := s.buckets - 1
+	for b := fp & mask; ; b = (b + 1) & mask {
+		off := s.bucketOff(b)
+		if le.Uint32(s.m[off+8:]) == 0 {
+			// Not indexed (shouldn't happen for resident cells); insert
+			// rather than lose the entry.
+			s.idxPut(fp, slot)
+			return
+		}
+		if le.Uint64(s.m[off:]) == fp {
+			le.PutUint32(s.m[off+8:], uint32(slot)+1)
+			s.touch(off + indexEntryBytes)
+			return
+		}
+	}
+}
+
+func (s *Store) idxDel(fp uint64) {
+	mask := s.buckets - 1
+	b := fp & mask
+	for {
+		off := s.bucketOff(b)
+		if le.Uint32(s.m[off+8:]) == 0 {
+			return // not present
+		}
+		if le.Uint64(s.m[off:]) == fp {
+			break
+		}
+		b = (b + 1) & mask
+	}
+	// Back-shift deletion: slide probe-displaced successors into the hole
+	// so every remaining entry stays reachable from its home bucket.
+	hole := b
+	for k := (b + 1) & mask; ; k = (k + 1) & mask {
+		off := s.bucketOff(k)
+		if le.Uint32(s.m[off+8:]) == 0 {
+			break
+		}
+		home := le.Uint64(s.m[off:]) & mask
+		if (k-home)&mask >= (k-hole)&mask {
+			holeOff := s.bucketOff(hole)
+			copy(s.m[holeOff:holeOff+indexEntryBytes], s.m[off:off+indexEntryBytes])
+			s.touch(holeOff + indexEntryBytes)
+			hole = k
+		}
+	}
+	holeOff := s.bucketOff(hole)
+	le.PutUint64(s.m[holeOff:], 0)
+	le.PutUint32(s.m[holeOff+8:], 0)
+	s.touch(holeOff + indexEntryBytes)
+}

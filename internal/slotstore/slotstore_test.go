@@ -1,0 +1,456 @@
+package slotstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"zcache/internal/failpoint"
+	"zcache/internal/hash"
+)
+
+func testConfig() Config {
+	return Config{
+		Slots: 64, CellBytes: 128,
+		Seed: 7, Ways: 4, Levels: 2, Rows: 16,
+		Policy: 0, Shard: 3, ShardCount: 8,
+	}
+}
+
+func mustCreate(t *testing.T, path string, cfg Config) *Store {
+	t.Helper()
+	if !Supported() {
+		t.Skip("slotstore unsupported on this platform")
+	}
+	s, err := Create(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// put writes one entry in its own Begin/End batch.
+func put(t *testing.T, s *Store, key, val string, slot int) uint64 {
+	t.Helper()
+	fp := hash.Bytes64([]byte(key))
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetSlot(slot, fp, []byte(key), []byte(val)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.End(); err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestRoundTripWarmReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig()
+	s := mustCreate(t, path, cfg)
+	fpA := put(t, s, "alpha", "value-a", 5)
+	fpB := put(t, s, "beta", "value-b", 9)
+	if got := s.Resident(); got != 2 {
+		t.Fatalf("resident = %d, want 2", got)
+	}
+	if err := s.Close(true); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path, cfg)
+	if err != nil {
+		t.Fatalf("warm open: %v", err)
+	}
+	defer s2.Close(true)
+	if got := s2.Resident(); got != 2 {
+		t.Fatalf("reopened resident = %d, want 2", got)
+	}
+	if k, v, ok := s2.Lookup(fpA); !ok || string(k) != "alpha" || string(v) != "value-a" {
+		t.Fatalf("Lookup(alpha) = %q, %q, %t", k, v, ok)
+	}
+	if k, v, ok := s2.Lookup(fpB); !ok || string(k) != "beta" || string(v) != "value-b" {
+		t.Fatalf("Lookup(beta) = %q, %q, %t", k, v, ok)
+	}
+	seen := 0
+	s2.Range(func(slot int, fp uint64, key, val []byte) bool {
+		seen++
+		if slot != 5 && slot != 9 {
+			t.Fatalf("unexpected resident slot %d", slot)
+		}
+		return true
+	})
+	if seen != 2 {
+		t.Fatalf("Range visited %d cells, want 2", seen)
+	}
+}
+
+// TestReadOnlySessionIsBitIdentical pins the clean-reopen contract: Open +
+// Range + Close(true) with no Begin must not change a single byte.
+func TestReadOnlySessionIsBitIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig()
+	s := mustCreate(t, path, cfg)
+	put(t, s, "k1", "v1", 0)
+	put(t, s, "k2", "v2", 63)
+	if err := s.Close(true); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Range(func(int, uint64, []byte, []byte) bool { return true })
+	if err := s2.Close(true); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("read-only open/close session modified the file")
+	}
+}
+
+func TestCrashedSessionNeedsRebuild(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig()
+	s := mustCreate(t, path, cfg)
+	put(t, s, "k", "v", 1)
+	// Simulate kill -9: unmap without the clean mark.
+	if err := s.Close(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, cfg); !errors.Is(err, ErrNeedsRebuild) {
+		t.Fatalf("Open after crash = %v, want ErrNeedsRebuild", err)
+	}
+}
+
+func TestOddGenerationNeedsRebuild(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig()
+	s := mustCreate(t, path, cfg)
+	put(t, s, "k", "v", 1)
+	// Crash mid-publish: generation left odd, then the file is force-marked
+	// clean to prove the generation check fires on its own.
+	s.setGen(s.Generation() + 1)
+	s.setState(StateClean)
+	if err := s.Close(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, cfg); !errors.Is(err, ErrNeedsRebuild) {
+		t.Fatalf("Open with odd generation = %v, want ErrNeedsRebuild", err)
+	}
+}
+
+func TestGeometryMismatchInvalidFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig()
+	s := mustCreate(t, path, cfg)
+	put(t, s, "k", "v", 1)
+	if err := s.Close(true); err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string]func(*Config){
+		"seed":        func(c *Config) { c.Seed++ },
+		"rows":        func(c *Config) { c.Rows *= 2; c.Slots *= 2 },
+		"shard":       func(c *Config) { c.Shard++ },
+		"shard count": func(c *Config) { c.ShardCount *= 2 },
+		"policy":      func(c *Config) { c.Policy = 1 },
+		"cell bytes":  func(c *Config) { c.CellBytes *= 2 },
+	} {
+		other := cfg
+		mut(&other)
+		if _, err := Open(path, other); !errors.Is(err, ErrInvalidFormat) {
+			t.Errorf("%s mismatch: Open = %v, want ErrInvalidFormat", name, err)
+		}
+	}
+	// The matching config still opens warm.
+	s2, err := Open(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close(true)
+}
+
+func TestTruncatedFileNeedsRebuild(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig()
+	s := mustCreate(t, path, cfg)
+	put(t, s, "k", "v", 1)
+	if err := s.Close(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fileSize(cfg)-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, cfg); !errors.Is(err, ErrNeedsRebuild) {
+		t.Fatalf("Open of truncated file = %v, want ErrNeedsRebuild", err)
+	}
+	if err := os.Truncate(path, headerBytes-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, cfg); !errors.Is(err, ErrInvalidFormat) {
+		t.Fatalf("Open of sub-header file = %v, want ErrInvalidFormat", err)
+	}
+}
+
+func TestCorruptCellNeedsRebuild(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig()
+	s := mustCreate(t, path, cfg)
+	put(t, s, "victim-key", "victim-val", 7)
+	cellOff := s.cellOff(7)
+	if err := s.Close(true); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one key byte on the clean file: the fingerprint no longer
+	// matches, which Open's scan must catch.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[cellOff+cellHeaderBytes] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, cfg); !errors.Is(err, ErrNeedsRebuild) {
+		t.Fatalf("Open with corrupt cell = %v, want ErrNeedsRebuild", err)
+	}
+}
+
+func TestOversizedEntrySkippedAndClears(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig() // 128-byte cells
+	s := mustCreate(t, path, cfg)
+	defer s.Close(true)
+	fp := put(t, s, "small", "v1", 4)
+	big := make([]byte, cfg.CellBytes) // does not fit with header+key
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	persisted, err := s.SetSlot(4, fp, []byte("small"), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if persisted {
+		t.Fatal("oversized entry reported persisted")
+	}
+	if err := s.End(); err != nil {
+		t.Fatal(err)
+	}
+	// The stale small value must be gone: serving it after a restart
+	// would be a wrong (outdated) value.
+	if _, _, ok := s.Lookup(fp); ok {
+		t.Fatal("oversized overwrite left the stale entry resident")
+	}
+	if s.Resident() != 0 {
+		t.Fatalf("resident = %d, want 0", s.Resident())
+	}
+}
+
+func TestMoveSlotFollowsIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig()
+	s := mustCreate(t, path, cfg)
+	fp := put(t, s, "mover", "payload", 2)
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	s.ClearSlot(10) // ensure destination vacated (it is — defensive)
+	s.MoveSlot(2, 10)
+	if err := s.End(); err != nil {
+		t.Fatal(err)
+	}
+	if k, v, ok := s.Lookup(fp); !ok || string(k) != "mover" || string(v) != "payload" {
+		t.Fatalf("after move Lookup = %q, %q, %t", k, v, ok)
+	}
+	// Survives a clean cycle with the index pointing at the new slot.
+	if err := s.Close(true); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, cfg)
+	if err != nil {
+		t.Fatalf("reopen after move: %v", err)
+	}
+	defer s2.Close(true)
+	found := -1
+	s2.Range(func(slot int, gotFP uint64, key, val []byte) bool {
+		found = slot
+		return true
+	})
+	if found != 10 {
+		t.Fatalf("entry persisted at slot %d, want 10", found)
+	}
+}
+
+func TestDeleteManyIndexBackShift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig()
+	s := mustCreate(t, path, cfg)
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j",
+		"kk", "ll", "mm", "nn", "oo", "pp", "qq", "rr", "ss", "tt"}
+	for i, k := range keys {
+		put(t, s, k, "v-"+k, i)
+	}
+	// Delete every other key, then verify the survivors all still resolve
+	// (back-shift must never strand an entry behind a hole).
+	for i := 0; i < len(keys); i += 2 {
+		if err := s.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		s.ClearSlot(i)
+		if err := s.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		fp := hash.Bytes64([]byte(k))
+		_, v, ok := s.Lookup(fp)
+		if i%2 == 0 {
+			if ok {
+				t.Fatalf("deleted key %q still resolves", k)
+			}
+		} else if !ok || string(v) != "v-"+k {
+			t.Fatalf("survivor %q lost: %q, %t", k, v, ok)
+		}
+	}
+	// And the image still validates end to end.
+	if err := s.Close(true); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, cfg)
+	if err != nil {
+		t.Fatalf("reopen after deletions: %v", err)
+	}
+	if s2.Resident() != len(keys)/2 {
+		t.Fatalf("resident = %d, want %d", s2.Resident(), len(keys)/2)
+	}
+	s2.Close(true)
+}
+
+func TestCheckpointThenCrashIsClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig()
+	s := mustCreate(t, path, cfg)
+	put(t, s, "k", "v", 1)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash after the checkpoint with no further writes: the snapshot is
+	// durable and clean, so reopen is warm.
+	if err := s.Close(false); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, cfg)
+	if err != nil {
+		t.Fatalf("warm open after checkpointed crash: %v", err)
+	}
+	if s2.Resident() != 1 {
+		t.Fatalf("resident = %d, want 1", s2.Resident())
+	}
+	s2.Close(true)
+	// But a write after the checkpoint re-dirties the file durably before
+	// mutating it, so a crash then needs a rebuild again.
+	s3, err := Open(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s3, "k2", "v2", 2)
+	if err := s3.Close(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, cfg); !errors.Is(err, ErrNeedsRebuild) {
+		t.Fatalf("Open after post-checkpoint crash = %v, want ErrNeedsRebuild", err)
+	}
+}
+
+func TestMsyncFailpointBlocksCleanClose(t *testing.T) {
+	defer failpoint.Reset()
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig()
+	s := mustCreate(t, path, cfg)
+	put(t, s, "k", "v", 1)
+	failpoint.Enable("slotstore/msync", failpoint.Error, 1, 0)
+	if err := s.Close(true); err == nil {
+		t.Fatal("clean close succeeded through a failing msync")
+	}
+	failpoint.Reset()
+	if _, err := Open(path, cfg); !errors.Is(err, ErrNeedsRebuild) {
+		t.Fatalf("Open after failed clean close = %v, want ErrNeedsRebuild", err)
+	}
+}
+
+func TestTornWriteFailpointLeavesRebuildSignal(t *testing.T) {
+	defer failpoint.Reset()
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig()
+	s := mustCreate(t, path, cfg)
+	failpoint.Enable("slotstore/write", failpoint.Torn, 1, 1, failpoint.WithTruncate(3))
+	fp := hash.Bytes64([]byte("torn"))
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	persisted, err := s.SetSlot(0, fp, []byte("torn"), []byte("full-value"))
+	if err == nil || !persisted {
+		t.Fatalf("torn SetSlot = %t, %v; want persisted with the injected error", persisted, err)
+	}
+	s.End()
+	// The process "crashes" here; the dirty mark is the rebuild signal.
+	if err := s.Close(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, cfg); !errors.Is(err, ErrNeedsRebuild) {
+		t.Fatalf("Open after torn write = %v, want ErrNeedsRebuild", err)
+	}
+}
+
+func TestSeqlockGenerationParity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	s := mustCreate(t, path, testConfig())
+	defer s.Close(true)
+	if g := s.Generation(); g%2 != 0 {
+		t.Fatalf("fresh store generation %d is odd", g)
+	}
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Generation(); g%2 != 1 {
+		t.Fatalf("in-batch generation %d is even", g)
+	}
+	if err := s.End(); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Generation(); g%2 != 0 {
+		t.Fatalf("post-batch generation %d is odd", g)
+	}
+}
+
+func TestSyncEveryOp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.slc")
+	cfg := testConfig()
+	cfg.SyncEveryOp = true
+	s := mustCreate(t, path, cfg)
+	for i := 0; i < 8; i++ {
+		put(t, s, string(rune('a'+i)), "v", i)
+	}
+	if err := s.Close(true); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Resident() != 8 {
+		t.Fatalf("resident = %d, want 8", s2.Resident())
+	}
+	s2.Close(true)
+}

@@ -3,6 +3,7 @@ package zkv
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -74,6 +75,21 @@ type LoadReport struct {
 	Errors    int
 	Wall      time.Duration
 	OpsPerSec float64
+
+	// Per-op latency percentiles (and the maximum) across every completed
+	// operation, measured from the moment the request is queued to the
+	// moment its reply is decoded — so pipeline queueing shows up in the
+	// tail, exactly as a caller would experience it. Zero when no ops ran.
+	P50, P99, P999, PMax time.Duration
+}
+
+// percentile reads the q-quantile from an ascending-sorted latency slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
 }
 
 // RunLoad opens cfg.Clients pipelined connections and drives cfg.Ops mixed
@@ -86,6 +102,7 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	}
 	type result struct {
 		gets, sets, hits, misses, errs int
+		lats                           []time.Duration
 		err                            error
 	}
 	results := make([]result, cfg.Clients)
@@ -114,9 +131,12 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 			key := make([]byte, 8)
 			val := make([]byte, cfg.ValBytes)
 			kinds := make([]bool, 0, cfg.Pipeline) // true = GET
+			queued := make([]time.Time, 0, cfg.Pipeline)
+			res.lats = make([]time.Duration, 0, ops)
 			sent := 0
 			for sent < ops {
 				kinds = kinds[:0]
+				queued = queued[:0]
 				for len(kinds) < cfg.Pipeline && sent+len(kinds) < ops {
 					// xorshift64*
 					rng ^= rng >> 12
@@ -124,6 +144,7 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 					rng ^= rng >> 27
 					draw := rng * 0x2545f4914f6cdd1d
 					binary.BigEndian.PutUint64(key, draw%uint64(cfg.KeySpace))
+					queued = append(queued, time.Now())
 					if draw>>48&0xffff < getCut {
 						if err := cl.QueueGet(key); err != nil {
 							res.err = err
@@ -142,12 +163,13 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 					res.err = err
 					return
 				}
-				for _, isGet := range kinds {
+				for bi, isGet := range kinds {
 					resp, err := cl.ReadReply()
 					if err != nil {
 						res.err = err
 						return
 					}
+					res.lats = append(res.lats, time.Since(queued[bi]))
 					switch {
 					case isGet && resp.Status == zkvproto.StatusOK:
 						res.gets++
@@ -169,6 +191,7 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	wall := time.Since(start)
 
 	rep := LoadReport{Wall: wall}
+	var lats []time.Duration
 	for i := range results {
 		r := &results[i]
 		if r.err != nil {
@@ -179,10 +202,18 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		rep.Hits += r.hits
 		rep.Misses += r.misses
 		rep.Errors += r.errs
+		lats = append(lats, r.lats...)
 	}
 	rep.Ops = rep.Gets + rep.Sets
 	if wall > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / wall.Seconds()
+	}
+	if len(lats) > 0 {
+		slices.Sort(lats)
+		rep.P50 = percentile(lats, 0.50)
+		rep.P99 = percentile(lats, 0.99)
+		rep.P999 = percentile(lats, 0.999)
+		rep.PMax = lats[len(lats)-1]
 	}
 	return rep, nil
 }

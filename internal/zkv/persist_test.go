@@ -1,0 +1,371 @@
+package zkv
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"zcache/internal/failpoint"
+	"zcache/internal/slotstore"
+)
+
+func persistConfig(dir string) Config {
+	return Config{
+		Shards: 2, Ways: 4, Rows: 64, Levels: 2, Seed: 99,
+		PersistDir: dir, PersistCellBytes: 256,
+	}
+}
+
+func skipNoPersist(t testing.TB) {
+	if !slotstore.Supported() {
+		t.Skip("persistence unsupported on this platform")
+	}
+}
+
+func fillKeys(t testing.TB, s *Store, n int) {
+	t.Helper()
+	var key [8]byte
+	val := make([]byte, 32)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(key[:], uint64(i))
+		binary.BigEndian.PutUint64(val, uint64(i)*3)
+		if err := s.Set(key[:], val); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// verifyKeys asserts the correctness contract over keys [0, n): every Get
+// is either a miss or the exact expected value — never a wrong value. It
+// returns the hit count.
+func verifyKeys(t testing.TB, s *Store, n int) int {
+	t.Helper()
+	var key [8]byte
+	want := make([]byte, 32)
+	hits := 0
+	dst := make([]byte, 0, 64)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(key[:], uint64(i))
+		var ok bool
+		dst, ok = s.Get(key[:], dst[:0])
+		if !ok {
+			continue
+		}
+		hits++
+		binary.BigEndian.PutUint64(want, uint64(i)*3)
+		if string(dst) != string(want) {
+			t.Fatalf("key %d served wrong value %x", i, dst)
+		}
+	}
+	return hits
+}
+
+// abandon simulates kill -9: every shard's mirror is dropped without the
+// clean mark, exactly the on-disk state a crashed process leaves.
+func abandon(s *Store) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.ps != nil {
+			sh.ps.Close(false)
+			sh.ps = nil
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func TestPersistWarmRestart(t *testing.T) {
+	skipNoPersist(t)
+	dir := t.TempDir()
+	cfg := persistConfig(dir)
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Capacity() / 2 // no eviction pressure
+	fillKeys(t, s, n)
+	pre := verifyKeys(t, s, n)
+	resident := s.Len()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rep := s2.Persist()
+	if rep.WarmShards != cfg.Shards || rep.ColdShards != 0 {
+		t.Fatalf("warm=%d cold=%d, want all %d warm", rep.WarmShards, rep.ColdShards, cfg.Shards)
+	}
+	if rep.WarmEntries != resident {
+		t.Fatalf("restored %d entries, had %d resident", rep.WarmEntries, resident)
+	}
+	post := verifyKeys(t, s2, n)
+	if post < pre*9/10 {
+		t.Fatalf("warm hits %d < 90%% of pre-restart %d", post, pre)
+	}
+	if post != pre {
+		t.Logf("note: %d pre vs %d post hits", pre, post)
+	}
+}
+
+// TestPersistWarmRestartUnderEviction restarts a store that ran well past
+// capacity, so the surviving image reflects evictions and relocation
+// chains. Every warm-served key must still verify.
+func TestPersistWarmRestartUnderEviction(t *testing.T) {
+	skipNoPersist(t)
+	dir := t.TempDir()
+	cfg := persistConfig(dir)
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Capacity() * 3
+	fillKeys(t, s, n)
+	resident := s.Len()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Len(); got != resident {
+		t.Fatalf("restored %d entries, had %d resident", got, resident)
+	}
+	hits := verifyKeys(t, s2, n)
+	if hits < resident*9/10 {
+		t.Fatalf("only %d of %d resident entries hit after restart", hits, resident)
+	}
+}
+
+func TestPersistCrashNeedsRebuild(t *testing.T) {
+	skipNoPersist(t)
+	dir := t.TempDir()
+	cfg := persistConfig(dir)
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Capacity() / 2
+	fillKeys(t, s, n)
+	abandon(s)
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rep := s2.Persist()
+	if rep.WarmShards != 0 || rep.Rebuilds != cfg.Shards {
+		t.Fatalf("after crash: warm=%d rebuilds=%d, want 0 warm / %d rebuilds",
+			rep.WarmShards, rep.Rebuilds, cfg.Shards)
+	}
+	if hits := verifyKeys(t, s2, n); hits != 0 {
+		t.Fatalf("%d hits served from a crashed image", hits)
+	}
+	// The rebuilt store works and the next cycle is warm again.
+	fillKeys(t, s2, n)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if rep := s3.Persist(); rep.WarmShards != cfg.Shards {
+		t.Fatalf("rebuilt cycle reopened %d/%d shards warm", rep.WarmShards, cfg.Shards)
+	}
+}
+
+func TestPersistDeleteSurvivesRestart(t *testing.T) {
+	skipNoPersist(t)
+	dir := t.TempDir()
+	cfg := persistConfig(dir)
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillKeys(t, s, 10)
+	var key [8]byte
+	binary.BigEndian.PutUint64(key[:], 3)
+	if !s.Delete(key[:]) {
+		t.Fatal("delete missed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(key[:], nil); ok {
+		t.Fatal("deleted key resurrected by warm restart")
+	}
+	if hits := verifyKeys(t, s2, 10); hits != 9 {
+		t.Fatalf("%d survivors, want 9", hits)
+	}
+}
+
+// TestPersistOversizedEntriesStayInMemory: entries above the cell size are
+// served normally but not persisted, and a restart simply forgets them.
+func TestPersistOversizedEntriesStayInMemory(t *testing.T) {
+	skipNoPersist(t)
+	dir := t.TempDir()
+	cfg := persistConfig(dir) // 256-byte cells
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 1024)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := s.Set([]byte("big-key"), big); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get([]byte("big-key"), nil)
+	if !ok || len(got) != len(big) {
+		t.Fatal("oversized entry not served from memory")
+	}
+	if rep := s.Persist(); rep.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", rep.Skipped)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get([]byte("big-key"), nil); ok {
+		t.Fatal("oversized entry survived a restart it was never persisted for")
+	}
+}
+
+// TestPersistDetachOnFault: a persistence I/O fault mid-flight detaches the
+// mirror — the store keeps serving from memory — and the abandoned dirty
+// file forces a rebuild on the next boot instead of a torn warm image.
+func TestPersistDetachOnFault(t *testing.T) {
+	skipNoPersist(t)
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	cfg := persistConfig(dir)
+	cfg.PersistSync = true // make every End hit the msync failpoint
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillKeys(t, s, 32)
+	failpoint.Enable("slotstore/msync", failpoint.Error, 1, 0)
+	fillKeys(t, s, 64)
+	failpoint.Reset()
+	rep := s.Persist()
+	if rep.Detached != cfg.Shards {
+		t.Fatalf("detached = %d, want %d", rep.Detached, cfg.Shards)
+	}
+	// Memory serving is unaffected.
+	if hits := verifyKeys(t, s, 64); hits != 64 {
+		t.Fatalf("memory hits = %d, want 64", hits)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rep := s2.Persist(); rep.WarmShards != 0 {
+		t.Fatalf("%d shards reopened warm from detached dirty files", rep.WarmShards)
+	}
+	if hits := verifyKeys(t, s2, 64); hits != 0 {
+		t.Fatalf("%d hits served from abandoned images", hits)
+	}
+}
+
+// TestPersistShardFilesAreIndependent: one corrupted shard file rebuilds
+// cold while the others reopen warm.
+func TestPersistShardFilesAreIndependent(t *testing.T) {
+	skipNoPersist(t)
+	dir := t.TempDir()
+	cfg := persistConfig(dir)
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillKeys(t, s, s.Capacity()/2)
+	// Crash shard 0 only; close shard 1 cleanly.
+	s.shards[0].ps.Close(false)
+	s.shards[0].ps = nil
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rep := s2.Persist()
+	if rep.WarmShards != 1 || rep.ColdShards != 1 || rep.Rebuilds != 1 {
+		t.Fatalf("warm=%d cold=%d rebuilds=%d, want 1/1/1",
+			rep.WarmShards, rep.ColdShards, rep.Rebuilds)
+	}
+	verifyKeys(t, s2, s2.Capacity()/2)
+}
+
+func persistBenchStore(b *testing.B) (*Store, int) {
+	b.Helper()
+	skipNoPersist(b)
+	s, err := Open(Config{Shards: 4, Ways: 4, Rows: 1024, Levels: 2, Seed: 17,
+		PersistDir: b.TempDir(), PersistCellBytes: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	n := s.Capacity() / 2
+	var key [8]byte
+	val := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(key[:], uint64(i))
+		if err := s.Set(key[:], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, n
+}
+
+// BenchmarkZKVGetPersist and BenchmarkZKVSetPersist guard the acceptance
+// criterion that persistence keeps the hot path at 0 allocs/op: the mirror
+// writes straight into the mmap, no buffers, no syscalls (PersistSync off).
+func BenchmarkZKVGetPersist(b *testing.B) {
+	s, n := persistBenchStore(b)
+	var key [8]byte
+	dst := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint64(key[:], uint64(i%n))
+		dst, _ = s.Get(key[:], dst[:0])
+	}
+	_ = dst
+}
+
+func BenchmarkZKVSetPersist(b *testing.B) {
+	s, n := persistBenchStore(b)
+	var key [8]byte
+	val := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint64(key[:], uint64(i%(2*n)))
+		if err := s.Set(key[:], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

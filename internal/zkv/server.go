@@ -305,5 +305,14 @@ func (s *Server) appendMetrics(dst []byte) []byte {
 		}
 		line(label, v)
 	}
+	if rep := s.store.Persist(); rep.Enabled {
+		line("zkv_persist_enabled", 1)
+		line("zkv_persist_warm_shards", uint64(rep.WarmShards))
+		line("zkv_persist_cold_shards", uint64(rep.ColdShards))
+		line("zkv_persist_rebuilds", uint64(rep.Rebuilds))
+		line("zkv_persist_warm_entries", uint64(rep.WarmEntries))
+		line("zkv_persist_detached_shards", uint64(rep.Detached))
+		line("zkv_persist_skipped_total", rep.Skipped)
+	}
 	return dst
 }

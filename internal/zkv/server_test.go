@@ -282,4 +282,8 @@ func TestRunLoad(t *testing.T) {
 	if rep.OpsPerSec <= 0 {
 		t.Fatalf("ops/s = %v", rep.OpsPerSec)
 	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.P999 < rep.P99 || rep.PMax < rep.P999 {
+		t.Fatalf("latency percentiles not monotone: p50=%v p99=%v p999=%v max=%v",
+			rep.P50, rep.P99, rep.P999, rep.PMax)
+	}
 }

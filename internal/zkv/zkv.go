@@ -29,6 +29,7 @@ import (
 	"zcache/internal/cache"
 	"zcache/internal/hash"
 	"zcache/internal/repl"
+	"zcache/internal/slotstore"
 )
 
 // Policy selects the replacement ranking a store's shards use. Only the
@@ -91,6 +92,20 @@ type Config struct {
 	// 1MiB). Oversized Sets fail; oversized Gets/Deletes miss.
 	MaxKeyBytes int
 	MaxValBytes int
+
+	// PersistDir, when non-empty, mirrors every shard into an mmap'd
+	// slotstore file under this directory and warm-restores from valid
+	// images at Open (see internal/slotstore). Empty disables persistence.
+	PersistDir string
+	// PersistSync msyncs each mutation's dirty range before the operation
+	// returns (crash-bounded loss, large throughput cost). Off, durability
+	// is only guaranteed at Close; the crash-safety contract — a torn image
+	// is never served — holds either way.
+	PersistSync bool
+	// PersistCellBytes is the fixed per-slot cell size in the shard files,
+	// including a 16-byte header (default 4096). Entries whose key+value
+	// exceed it stay cached in memory but are not persisted.
+	PersistCellBytes int
 }
 
 // withDefaults resolves zero fields.
@@ -126,6 +141,12 @@ type Store struct {
 	shards    []*shard
 	mask      uint64
 	shardSalt uint64
+
+	// Persistence open-time outcome (immutable after Open; see persist.go).
+	warmShards  int
+	coldShards  int
+	rebuilds    int
+	warmEntries int
 }
 
 // Open builds a store from cfg (zero fields defaulted).
@@ -152,6 +173,12 @@ func Open(cfg Config) (*Store, error) {
 			return nil, err
 		}
 		s.shards[i] = sh
+	}
+	if cfg.PersistDir != "" {
+		if err := s.openPersist(); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -318,6 +345,12 @@ type shard struct {
 	deleting                  bool
 	idx                       int
 	evictHook                 func(shard int, line uint64)
+
+	// ps mirrors this shard's slot cells on disk (nil when persistence is
+	// off or was detached after a fault); see persist.go.
+	ps         *slotstore.Store
+	psDetached bool
+	psSkipped  uint64
 }
 
 // shardSeed derives shard i's H3 seed from the store seed, mirroring the
@@ -367,8 +400,13 @@ func newShard(cfg Config, i int) (*shard, error) {
 
 // SlotEvicted implements cache.SlotObserver: a block left the cache, so its
 // key/value cells are dead (the buffers stay for reuse by the next tenant).
+// The persistent mirror clears the same cell, keeping the on-disk slot
+// array aligned with the tag array.
 func (sh *shard) SlotEvicted(id repl.BlockID, line uint64, dirty bool) {
 	sh.resident--
+	if sh.ps != nil {
+		sh.ps.ClearSlot(int(id))
+	}
 	if sh.deleting {
 		return
 	}
@@ -380,11 +418,15 @@ func (sh *shard) SlotEvicted(id repl.BlockID, line uint64, dirty bool) {
 
 // SlotMoved implements cache.SlotObserver: a relocation slid a block into
 // the vacated destination slot; its key/value cells follow. The displaced
-// destination buffers move to the source slot for reuse.
+// destination buffers move to the source slot for reuse, and the persistent
+// mirror replays the same relocation on disk.
 func (sh *shard) SlotMoved(from, to repl.BlockID) {
 	sh.keys[from], sh.keys[to] = sh.keys[to], sh.keys[from]
 	sh.vals[from], sh.vals[to] = sh.vals[to], sh.vals[from]
 	sh.movesThisInstall++
+	if sh.ps != nil {
+		sh.ps.MoveSlot(int(from), int(to))
+	}
 }
 
 // get is the locked Get body; the value is appended to dst.
@@ -405,10 +447,13 @@ func (sh *shard) get(fp uint64, key, dst []byte) ([]byte, bool) {
 	return append(dst, sh.vals[id]...), true
 }
 
-// set is the locked Set body.
+// set is the locked Set body. With persistence, the whole mutation — the
+// eviction/relocation events AccessSlot fires through the observer plus the
+// cell write — runs inside one seqlock batch on the mirror.
 func (sh *shard) set(fp uint64, key, val []byte) {
 	sh.sets++
 	sh.movesThisInstall = 0
+	mirrored := sh.psBegin()
 	id, hit := sh.c.AccessSlot(fp, true)
 	if hit {
 		if bytesEqual(sh.keys[id], key) {
@@ -430,6 +475,15 @@ func (sh *shard) set(fp uint64, key, val []byte) {
 	}
 	sh.keys[id] = append(sh.keys[id][:0], key...)
 	sh.vals[id] = append(sh.vals[id][:0], val...)
+	if mirrored && sh.ps != nil {
+		persisted, err := sh.ps.SetSlot(int(id), fp, key, val)
+		if err != nil {
+			sh.psDetach()
+		} else if !persisted {
+			sh.psSkipped++
+		}
+		sh.psEnd()
+	}
 }
 
 // del is the locked Delete body.
@@ -439,9 +493,13 @@ func (sh *shard) del(fp uint64, key []byte) bool {
 	if !ok || !bytesEqual(sh.keys[id], key) {
 		return false
 	}
+	mirrored := sh.psBegin()
 	sh.deleting = true
 	sh.c.Invalidate(fp)
 	sh.deleting = false
+	if mirrored {
+		sh.psEnd()
+	}
 	sh.delHits++
 	return true
 }
