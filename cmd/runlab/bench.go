@@ -32,6 +32,25 @@ type kernelResult struct {
 	AllocsPerAccess float64 `json:"allocs_per_access"`
 	MissRate        float64 `json:"miss_rate"`
 	Iterations      int     `json:"iterations"`
+
+	// Walks and WalkLevels profile the replacement walk for zcache
+	// kernels (schema 2): total walks run during the allocs-measurement
+	// pass, and the per-level frontier size and tag-read cost averaged
+	// over those walks. Empty for arrays without a walk.
+	Walks      uint64      `json:"walks,omitempty"`
+	WalkLevels []walkLevel `json:"walk_levels,omitempty"`
+}
+
+// walkLevel is one level of a zcache kernel's averaged walk profile.
+type walkLevel struct {
+	Level int `json:"level"`
+	// CandidatesPerWalk is the average frontier emitted at this level
+	// (level l of a W-way zcache emits W·(W-1)^(l-1) candidates when the
+	// walk runs to completion; early-stops pull the average down).
+	CandidatesPerWalk float64 `json:"candidates_per_walk"`
+	// TagReadsPerWalk is the average single-way walk tag reads charged
+	// at this level (zero at level 1: the demand lookup paid for those).
+	TagReadsPerWalk float64 `json:"tag_reads_per_walk"`
 }
 
 // benchReport is the machine-readable output of `runlab bench`.
@@ -172,13 +191,27 @@ func measureKernel(spec kernelSpec) (kernelResult, error) {
 	if st.Accesses > 0 {
 		missRate = float64(st.Misses) / float64(st.Accesses)
 	}
-	return kernelResult{
+	res := kernelResult{
 		Name:            spec.name,
 		NsPerAccess:     float64(r.NsPerOp()),
 		AllocsPerAccess: allocs,
 		MissRate:        missRate,
 		Iterations:      r.N,
-	}, nil
+	}
+	if z, ok := c.Array().(*cache.ZCache); ok {
+		walks, lvls := z.WalkProfile()
+		res.Walks = walks
+		if walks > 0 {
+			for _, l := range lvls {
+				res.WalkLevels = append(res.WalkLevels, walkLevel{
+					Level:             l.Level,
+					CandidatesPerWalk: float64(l.Candidates) / float64(walks),
+					TagReadsPerWalk:   float64(l.TagReads) / float64(walks),
+				})
+			}
+		}
+	}
+	return res, nil
 }
 
 func cmdBench(args []string) error {
@@ -212,7 +245,7 @@ func cmdBench(args []string) error {
 	}
 
 	var rep benchReport
-	rep.Schema = 1
+	rep.Schema = 2
 	rep.Go = runtime.Version()
 	for _, spec := range kernelSpecs() {
 		res, err := measureKernel(spec)

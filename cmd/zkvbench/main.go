@@ -7,7 +7,11 @@
 //
 // opens -clients pipelined connections and drives a reproducible mixed
 // GET/SET stream, reporting ops/s, hit rate, p50/p99/p999 per-op latency,
-// and errors. A run with any protocol error exits 2.
+// and errors. With -writers N, N additional all-SET connections stay
+// saturated for the whole window (contention mode): combined with
+// -get-frac 1 the percentiles then measure pure readers while eviction
+// walks and relocation chains are in flight. A run with any protocol error
+// exits 2.
 //
 // Equivalence replay:
 //
@@ -44,6 +48,7 @@ func run(args []string) int {
 		getFrac  = fs.Float64("get-frac", 0.9, "fraction of GETs (rest are SETs)")
 		pipeline = fs.Int("pipeline", 16, "requests per flush (1 = no pipelining)")
 		seed     = fs.Uint64("seed", 1, "workload seed")
+		writers  = fs.Int("writers", 0, "background all-SET connections kept saturated for the whole run (contention mode)")
 
 		equiv    = fs.String("equiv", "", "equivalence mode: workload preset to replay (e.g. canneal)")
 		ways     = fs.Int("ways", 4, "zcache ways (equiv mode)")
@@ -82,6 +87,7 @@ func run(args []string) int {
 	rep, err := zkv.RunLoad(zkv.LoadConfig{
 		Addr: *addr, Clients: *clients, Ops: *ops, KeySpace: *keySpace,
 		ValBytes: *valBytes, GetFrac: *getFrac, Pipeline: *pipeline, Seed: *seed,
+		Writers: *writers,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "zkvbench: %v\n", err)
@@ -95,7 +101,11 @@ func run(args []string) int {
 		rep.Ops, rep.Wall.Round(1000000), rep.OpsPerSec, rep.Gets, rep.Sets, hitRate, rep.Errors)
 	fmt.Printf("latency: p50 %s  p99 %s  p999 %s  max %s\n",
 		rep.P50, rep.P99, rep.P999, rep.PMax)
-	if rep.Errors > 0 {
+	if *writers > 0 {
+		fmt.Printf("contention: %d writers sustained %d sets (%.0f sets/s, %d errors) during the window\n",
+			*writers, rep.WriterSets, float64(rep.WriterSets)/rep.Wall.Seconds(), rep.WriterErrors)
+	}
+	if rep.Errors > 0 || rep.WriterErrors > 0 {
 		return 2
 	}
 	return 0

@@ -411,7 +411,11 @@ func (c *Cache) finishFlat(id repl.BlockID, oldAddr uint64, oldValid bool, line 
 // install runs the replacement process for a missing line and returns the
 // slot the line landed in.
 func (c *Cache) install(line uint64, write bool) repl.BlockID {
-	c.candBuf = c.array.Candidates(line, c.candBuf[:0])
+	if c.zFast != nil {
+		c.candBuf = c.zFast.Candidates(line, c.candBuf[:0])
+	} else {
+		c.candBuf = c.array.Candidates(line, c.candBuf[:0])
+	}
 	cands := c.candBuf
 	if c.strictCheck {
 		if v := c.checkCandidates(line, cands); v != nil {
@@ -420,12 +424,22 @@ func (c *Cache) install(line uint64, write bool) repl.BlockID {
 	}
 
 	// Prefer an empty slot: the walk stops at the first one it finds, so
-	// scan for any invalid candidate (no eviction needed).
+	// scan for any invalid candidate (no eviction needed). The zcache
+	// walk (BFS, DFS, and the flat reference) returns the moment it
+	// emits an empty slot, so only its last candidate can be invalid —
+	// one check replaces the scan. Flat arrays emit all W slots
+	// regardless, so the generic path still scans.
 	victim := -1
-	for i := range cands {
-		if !cands[i].Valid {
-			victim = i
-			break
+	if c.zFast != nil && !c.noFastPath {
+		if last := len(cands) - 1; last >= 0 && !cands[last].Valid {
+			victim = last
+		}
+	} else {
+		for i := range cands {
+			if !cands[i].Valid {
+				victim = i
+				break
+			}
 		}
 	}
 
@@ -433,7 +447,7 @@ func (c *Cache) install(line uint64, write bool) repl.BlockID {
 	// to relocate instead of dying, by expanding the walk below it and
 	// reselecting among it and its new descendants.
 	if victim < 0 && c.hybridLevels > 0 && c.zFast != nil {
-		v1 := c.selectVictim(cands, -1)
+		v1 := c.selectAllValid(cands)
 		if v1 >= 0 {
 			before := len(cands)
 			cands = c.zFast.ExpandFrom(cands, v1, c.hybridLevels)
@@ -455,7 +469,14 @@ func (c *Cache) install(line uint64, write bool) repl.BlockID {
 	excluded := -1 // single retry slot is enough in practice, but loop anyway
 	for {
 		if victim < 0 {
-			victim = c.selectVictim(cands, excluded)
+			if excluded < 0 {
+				// No invalid candidate was found above, so every
+				// candidate is valid and no index is excluded:
+				// skip the filtered scan.
+				victim = c.selectAllValid(cands)
+			} else {
+				victim = c.selectVictim(cands, excluded)
+			}
 			if victim < 0 {
 				// Every candidate excluded — impossible for
 				// level-1 candidates, so this is a bug.
@@ -520,6 +541,22 @@ func (c *Cache) selectAmong(cands []Candidate, v1, from int) int {
 		return v1
 	}
 	return c.validIdx[sel]
+}
+
+// selectAllValid ranks candidates known to all be valid with no exclusions
+// — the common miss shape (the walk found no empty slot). The policy's pick
+// then indexes cands directly, so the validIdx indirection disappears.
+func (c *Cache) selectAllValid(cands []Candidate) int {
+	ids := c.validIDs[:len(cands)]
+	for i := range cands {
+		ids[i] = cands[i].ID
+	}
+	c.validIDs = ids
+	sel := c.sel(ids)
+	if sel == repl.NoVictim {
+		return -1
+	}
+	return sel
 }
 
 // selectVictim asks the policy to choose among valid candidates, skipping

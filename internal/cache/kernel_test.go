@@ -299,6 +299,18 @@ func BenchmarkKernelZCacheAccess(b *testing.B) {
 	benchAccess(b, newKernelZCache(b, 2048, 2))
 }
 
+// BenchmarkKernelZCacheHybridAccess measures the hybrid BFS+DFS walk
+// (§III-D): phase-1 victim plus an ExpandFrom second phase. It exists in the
+// baseline so benchguard gates ExpandFrom's ns/op and — more importantly —
+// its allocs/op: the scratch slices must stay preallocated.
+func BenchmarkKernelZCacheHybridAccess(b *testing.B) {
+	c := newKernelZCache(b, 2048, 2)
+	if err := c.EnableHybridWalk(1); err != nil {
+		b.Fatal(err)
+	}
+	benchAccess(b, c)
+}
+
 // BenchmarkKernelSetAssocAccess measures steady-state ns/access on the
 // hashed set-associative flat path.
 func BenchmarkKernelSetAssocAccess(b *testing.B) {

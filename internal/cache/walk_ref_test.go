@@ -1,0 +1,334 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"zcache/internal/hash"
+)
+
+// This file keeps the pre-flattening walk as a test-only reference: the
+// recursive-bookkeeping BFS Candidates and ExpandFrom bodies exactly as they
+// shipped before the frontier-array rewrite, with their own uint64 seen
+// stamps. The property test drives randomized geometries through twin caches
+// — one walked flat, one walked by the reference — and asserts the emitted
+// candidate sequences, repeat counts, and tag/walk charges never diverge.
+
+// refWalkState is the reference walk's repeat-detection bookkeeping, held
+// outside the ZCache so the reference never touches the flat walk's state.
+type refWalkState struct {
+	seen    []uint64
+	epoch   uint64
+	repeats uint64
+}
+
+// refCandidates is the old BFS walk, verbatim except that seen/epoch/repeats
+// live in st.
+func refCandidates(z *ZCache, st *refWalkState, line uint64, buf []Candidate) []Candidate {
+	start := len(buf)
+	if z.repeatFilter != nil {
+		z.repeatFilter.Reset()
+	}
+	st.epoch++
+	for w := 0; w < z.tags.ways; w++ {
+		row := z.row(w, line)
+		id := z.tags.slot(w, row)
+		c := Candidate{
+			ID:     id,
+			Addr:   z.tags.e[id].addr,
+			Valid:  z.tags.e[id].valid,
+			Way:    w,
+			Row:    row,
+			Level:  1,
+			Parent: -1,
+		}
+		buf = append(buf, c)
+		st.seen[id] = st.epoch
+		if !c.Valid {
+			return buf
+		}
+		if z.repeatFilter != nil {
+			z.repeatFilter.Add(c.Addr)
+		}
+	}
+	levelStart, levelEnd := start, len(buf)
+	for level := 2; level <= z.levels; level++ {
+		var singleReads uint64
+		for parent := levelStart; parent < levelEnd; parent++ {
+			p := buf[parent]
+			for w := 0; w < z.tags.ways; w++ {
+				if w == p.Way {
+					continue
+				}
+				if len(buf)-start >= z.maxCands {
+					z.chargeWalk(singleReads)
+					return buf
+				}
+				row := z.row(w, p.Addr)
+				id := z.tags.slot(w, row)
+				singleReads++
+				c := Candidate{
+					ID:     id,
+					Addr:   z.tags.e[id].addr,
+					Valid:  z.tags.e[id].valid,
+					Way:    w,
+					Row:    row,
+					Level:  level,
+					Parent: parent,
+				}
+				if st.seen[id] == st.epoch {
+					st.repeats++
+				}
+				if c.Valid && z.repeatFilter != nil && z.repeatFilter.MayContain(c.Addr) {
+					continue
+				}
+				buf = append(buf, c)
+				st.seen[id] = st.epoch
+				if !c.Valid {
+					z.chargeWalk(singleReads)
+					return buf
+				}
+				if z.repeatFilter != nil {
+					z.repeatFilter.Add(c.Addr)
+				}
+			}
+		}
+		z.chargeWalk(singleReads)
+		levelStart, levelEnd = levelEnd, len(buf)
+		if levelStart == levelEnd {
+			break
+		}
+	}
+	return buf
+}
+
+// refExpandFrom is the old hybrid second-phase expansion, verbatim under the
+// same state relocation as refCandidates.
+func refExpandFrom(z *ZCache, st *refWalkState, cands []Candidate, idx, extraLevels int) []Candidate {
+	if idx < 0 || idx >= len(cands) || !cands[idx].Valid {
+		return cands
+	}
+	start := len(cands)
+	st.epoch++
+	for i := range cands {
+		st.seen[cands[i].ID] = st.epoch
+	}
+	levelStart, levelEnd := idx, idx+1
+	firstLevel := true
+	for lvl := 0; lvl < extraLevels; lvl++ {
+		var singleReads uint64
+		for parent := levelStart; parent < levelEnd; parent++ {
+			p := cands[parent]
+			for w := 0; w < z.tags.ways; w++ {
+				if w == p.Way {
+					continue
+				}
+				if len(cands) >= 2*z.maxCands {
+					z.chargeWalk(singleReads)
+					return cands
+				}
+				row := z.row(w, p.Addr)
+				id := z.tags.slot(w, row)
+				singleReads++
+				c := Candidate{
+					ID:     id,
+					Addr:   z.tags.e[id].addr,
+					Valid:  z.tags.e[id].valid,
+					Way:    w,
+					Row:    row,
+					Level:  p.Level + 1,
+					Parent: parent,
+				}
+				if st.seen[id] == st.epoch {
+					st.repeats++
+				}
+				cands = append(cands, c)
+				st.seen[id] = st.epoch
+				if !c.Valid {
+					z.chargeWalk(singleReads)
+					return cands
+				}
+			}
+		}
+		z.chargeWalk(singleReads)
+		if firstLevel {
+			levelStart, firstLevel = start, false
+		} else {
+			levelStart = levelEnd
+		}
+		levelEnd = len(cands)
+		if levelStart == levelEnd {
+			break
+		}
+	}
+	return cands
+}
+
+// walkGeom is one randomized trial configuration.
+type walkGeom struct {
+	ways    int
+	rows    uint64
+	levels  int
+	seed    uint64
+	budget  int // 0 = natural R
+	bloom   bool
+	expandL int // hybrid expansion depth (0 = never expand)
+}
+
+func newWalkPair(t *testing.T, g walkGeom) (*ZCache, *ZCache, *refWalkState) {
+	t.Helper()
+	build := func() *ZCache {
+		fns, err := (hash.H3Family{Seed: g.seed}).New(g.ways, g.rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var opts []ZOption
+		if g.budget > 0 {
+			opts = append(opts, WithMaxCandidates(g.budget))
+		}
+		if g.bloom {
+			opts = append(opts, WithRepeatAvoidance(8, 2))
+		}
+		z, err := NewZCache(g.rows, fns, g.levels, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return z
+	}
+	flat, ref := build(), build()
+	st := &refWalkState{seen: make([]uint64, ref.Blocks())}
+	return flat, ref, st
+}
+
+func compareCands(t *testing.T, g walkGeom, step int, stage string, got, want []Candidate) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%+v step %d %s: flat emitted %d candidates, reference %d",
+			g, step, stage, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%+v step %d %s: candidate %d diverges:\nflat %+v\nref  %+v",
+				g, step, stage, i, got[i], want[i])
+		}
+	}
+}
+
+// TestFlatWalkMatchesReference drives twin caches — identical geometry,
+// seeds, and install decisions — comparing the flat walk against the
+// reference implementation candidate for candidate, charge for charge,
+// across randomized configurations.
+func TestFlatWalkMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	geoms := []walkGeom{
+		{ways: 4, rows: 64, levels: 2, seed: 1, expandL: 1},
+		{ways: 4, rows: 16, levels: 3, seed: 2, expandL: 2},
+		{ways: 2, rows: 32, levels: 4, seed: 3, expandL: 1},
+		{ways: 3, rows: 32, levels: 3, seed: 4, expandL: 2},
+		{ways: 5, rows: 16, levels: 2, seed: 5, expandL: 1},
+		{ways: 4, rows: 64, levels: 2, seed: 6, budget: 9, expandL: 1},
+		{ways: 4, rows: 32, levels: 3, seed: 7, bloom: true},
+		{ways: 2, rows: 16, levels: 5, seed: 8, budget: 7, expandL: 3},
+		{ways: 8, rows: 16, levels: 2, seed: 9, expandL: 1},
+		{ways: 4, rows: 128, levels: 2, seed: 10, bloom: true, expandL: 1},
+	}
+	for gi := 0; gi < 6; gi++ { // extra fully random geometries
+		g := walkGeom{
+			ways:    2 + rng.Intn(5),
+			rows:    uint64(1) << (4 + rng.Intn(4)),
+			levels:  1 + rng.Intn(4),
+			seed:    rng.Uint64(),
+			expandL: rng.Intn(3),
+		}
+		if g.ways == 2 && g.levels > 4 {
+			g.levels = 4
+		}
+		geoms = append(geoms, g)
+	}
+
+	for _, g := range geoms {
+		flat, ref, st := newWalkPair(t, g)
+		space := uint64(flat.Blocks()) * 3 // small: force conflicts and repeats
+		var fbuf, rbuf []Candidate
+		for step := 0; step < 400; step++ {
+			line := rng.Uint64() % space
+			if id, ok := flat.Lookup(line); ok {
+				rid, rok := ref.Lookup(line)
+				if !rok || rid != id {
+					t.Fatalf("%+v step %d: lookup diverges (flat %v/%v, ref %v/%v)",
+						g, step, id, ok, rid, rok)
+				}
+				continue
+			}
+			ref.Lookup(line) // keep demand charges aligned
+			fbuf = flat.Candidates(line, fbuf[:0])
+			rbuf = refCandidates(ref, st, line, rbuf[:0])
+			compareCands(t, g, step, "walk", fbuf, rbuf)
+
+			// Hybrid second phase on a random valid candidate.
+			if g.expandL > 0 && len(fbuf) > 0 && rng.Intn(4) == 0 {
+				idx := rng.Intn(len(fbuf))
+				fbuf = flat.ExpandFrom(fbuf, idx, g.expandL)
+				rbuf = refExpandFrom(ref, st, rbuf, idx, g.expandL)
+				compareCands(t, g, step, "expand", fbuf, rbuf)
+			}
+
+			if flat.Repeats() != st.repeats {
+				t.Fatalf("%+v step %d: repeats diverge: flat %d, ref %d",
+					g, step, flat.Repeats(), st.repeats)
+			}
+			if *flat.Counters() != *ref.Counters() {
+				t.Fatalf("%+v step %d: counters diverge:\nflat %+v\nref  %+v",
+					g, step, *flat.Counters(), *ref.Counters())
+			}
+
+			// Install with an identical victim choice so the twin tag
+			// arrays evolve through the same relocation chains: prefer
+			// the empty slot like the controller, then random valid
+			// candidates until one installs without a cuckoo cycle.
+			var tries []int
+			for i := range fbuf {
+				if !fbuf[i].Valid {
+					tries = append(tries, i)
+					break
+				}
+			}
+			for _, i := range rng.Perm(len(fbuf)) {
+				if fbuf[i].Valid {
+					tries = append(tries, i)
+				}
+			}
+			for _, victim := range tries {
+				fm, ferr := flat.Install(line, fbuf, victim)
+				rm, rerr := ref.Install(line, rbuf, victim)
+				if (ferr == nil) != (rerr == nil) {
+					t.Fatalf("%+v step %d: install error diverges: flat %v, ref %v",
+						g, step, ferr, rerr)
+				}
+				if ferr != nil {
+					continue // cuckoo cycle on both: try the next candidate
+				}
+				if len(fm) != len(rm) {
+					t.Fatalf("%+v step %d: move chains diverge: flat %d, ref %d",
+						g, step, len(fm), len(rm))
+				}
+				for i := range fm {
+					if fm[i] != rm[i] {
+						t.Fatalf("%+v step %d: move %d diverges: flat %+v, ref %+v",
+							g, step, i, fm[i], rm[i])
+					}
+				}
+				break
+			}
+		}
+		// The twin tag arrays must agree exactly after hundreds of
+		// installs, or a subtle walk divergence slipped through.
+		for id := 0; id < flat.Blocks(); id++ {
+			fe, re := flat.tags.e[id], ref.tags.e[id]
+			if fe != re {
+				t.Fatalf("%+v: tag slot %d diverges after trial: flat %+v, ref %+v",
+					g, id, fe, re)
+			}
+		}
+	}
+}

@@ -29,7 +29,11 @@ type ZCache struct {
 	// h3 mirrors fns with concrete types when every way hash is an H3
 	// (the paper's configuration), so walk expansion — W-1 hashes per
 	// candidate — pays no interface dispatch.
-	h3     []*hash.H3
+	h3 []*hash.H3
+	// ws4 is the way-merged nibble table for the 4-way all-H3
+	// configuration: one table walk yields all four rows, so lookups and
+	// walk frontiers hash in a single pass (nil otherwise).
+	ws4    *hash.WaySet4
 	tags   tagStore
 	levels int
 	// maxCands lets the controller stop the walk early under bandwidth or
@@ -51,9 +55,60 @@ type ZCache struct {
 	repeats uint64
 	// seen[id] holds the walk epoch that last visited slot id, so repeat
 	// detection is one array read instead of a rescan of the candidate
-	// buffer on every expansion.
-	seen      []uint64
+	// buffer on every expansion. Stamps are 16-bit to keep the array
+	// small enough to stay cache-resident next to the tags; bumpEpoch
+	// clears it on the rare low-word wraparound, so a stale stamp can
+	// never alias a live epoch and the semantics match full-width stamps
+	// exactly.
+	seen      []uint16
 	walkEpoch uint64
+
+	// Flat-walk scratch (candidatesFlat, ExpandFrom), preallocated to the
+	// true MaxCandidates bound so no walk or hybrid expansion allocates:
+	// frontier holds the current level's parent addresses, rowBuf the
+	// batch-hashed rows for every way (rowBuf[w*frontierCap+i] is way w's
+	// row for frontier[i]).
+	frontier    []uint64
+	rowBuf      []uint64
+	frontierCap int
+
+	// memoLine/memoRows cache the per-way rows computed by the last Lookup.
+	// Rows depend only on the line address, never on tag contents, so the
+	// memo stays valid across installs; Candidates reuses it to skip
+	// re-hashing the line the demand miss just hashed.
+	memoLine uint64
+	memoRows []uint64
+	memoOK   bool
+
+	// Per-level walk profile: walks counts Candidates calls, levelEmits[l]
+	// candidates emitted at level l+1, levelReads[l] single tag reads
+	// charged at level l+1 (level 1 reads are charged to the demand
+	// lookup). Feeds the bench schema's walk_levels section.
+	walks      uint64
+	levelEmits []uint64
+	levelReads []uint64
+}
+
+// WalkLevelStat is one level of the accumulated walk profile.
+type WalkLevelStat struct {
+	// Level is 1 for direct conflicts, increasing along the walk.
+	Level int
+	// Candidates is the total number of candidates emitted at this level.
+	Candidates uint64
+	// TagReads is the total single-way walk tag reads charged at this
+	// level (zero at level 1: the demand lookup paid for those).
+	TagReads uint64
+}
+
+// WalkProfile returns the per-level walk cost accumulated since
+// construction, plus the number of walks. Level sizes divided by walks give
+// the average frontier per level.
+func (z *ZCache) WalkProfile() (walks uint64, levels []WalkLevelStat) {
+	levels = make([]WalkLevelStat, len(z.levelEmits))
+	for i := range levels {
+		levels[i] = WalkLevelStat{Level: i + 1, Candidates: z.levelEmits[i], TagReads: z.levelReads[i]}
+	}
+	return z.walks, levels
 }
 
 // WalkStrategy selects how the replacement walk explores candidates
@@ -131,20 +186,33 @@ func NewZCache(rows uint64, fns []hash.Func, levels int, opts ...ZOption) (*ZCac
 		tags:   newTagStore(len(fns), rows),
 		levels: levels,
 	}
+	if z.h3 != nil {
+		z.ws4 = hash.NewWaySet4(z.h3)
+	}
 	for _, opt := range opts {
 		if err := opt(z); err != nil {
 			return nil, err
 		}
 	}
-	if z.maxCands == 0 {
-		z.maxCands = ReplacementCandidates(len(fns), levels)
+	r := ReplacementCandidates(len(fns), levels)
+	if z.maxCands == 0 || z.maxCands > r {
+		// A budget above R cannot be spent — the walk runs out of tree
+		// first — but it would inflate ExpandFrom's 2×budget bound past
+		// the preallocated scratch. Clamp, mirroring SetWalkBudget.
+		z.maxCands = r
 	}
-	// Relocation chains are at most one slot per walk level (plus hybrid
-	// extension levels); a small constant covers every configuration, so
-	// Install never allocates on the hot path.
-	z.chain = make([]repl.BlockID, 0, levels+8)
-	z.moves = make([]Move, 0, levels+8)
-	z.seen = make([]uint64, len(fns)*int(rows))
+	// A relocation chain visits strictly decreasing candidate indices, so
+	// its length is bounded by the candidate count: 2R covers the walk plus
+	// the hybrid second phase, and Install never allocates on the hot path.
+	z.chain = make([]repl.BlockID, 0, 2*r)
+	z.moves = make([]Move, 0, 2*r)
+	z.seen = make([]uint16, len(fns)*int(rows))
+	z.frontierCap = 2 * r
+	z.frontier = make([]uint64, z.frontierCap)
+	z.rowBuf = make([]uint64, len(fns)*z.frontierCap)
+	z.memoRows = make([]uint64, len(fns))
+	z.levelEmits = make([]uint64, levels, levels+8)
+	z.levelReads = make([]uint64, levels, levels+8)
 	return z, nil
 }
 
@@ -192,16 +260,61 @@ func (z *ZCache) WalkBudget() int { return z.maxCands }
 
 // Lookup probes the line's one slot per way — the common case, and the
 // reason zcache hits cost exactly what a W-way skew cache's hits cost.
+// Hashing stays lazy (a hit at way w pays only w+1 hashes), but the rows
+// computed along the way are captured, and on a full-probe miss — which
+// hashed every way — they are published as a memo. The Candidates call that
+// follows a demand miss reuses them for its first level instead of
+// re-hashing the line. The memo never goes stale: rows depend only on the
+// line address, not on tag contents.
 func (z *ZCache) Lookup(line uint64) (repl.BlockID, bool) {
 	z.ctr.TagLookups++
 	z.ctr.TagReads += uint64(z.tags.ways)
+	rows := z.memoRows
+	if z.ws4 != nil {
+		// One merged-table walk hashes all four ways — cheaper than
+		// even two sequential per-way hashes, so eager beats lazy.
+		z.ws4.Rows4(line, rows)
+		z.memoLine, z.memoOK = line, true
+		rowsPerWay := z.tags.rows
+		for w := 0; w < 4; w++ {
+			id := repl.BlockID(uint64(w)*rowsPerWay + rows[w])
+			if e := &z.tags.e[id]; e.valid && e.addr == line {
+				return id, true
+			}
+		}
+		return 0, false
+	}
 	for w := 0; w < z.tags.ways; w++ {
-		id := z.tags.slot(w, z.row(w, line))
+		row := z.row(w, line)
+		rows[w] = row
+		id := z.tags.slot(w, row)
 		if e := &z.tags.e[id]; e.valid && e.addr == line {
+			z.memoOK = false
 			return id, true
 		}
 	}
+	z.memoLine, z.memoOK = line, true
 	return 0, false
+}
+
+// lineRows returns line's per-way rows, from the memo when a missed Lookup
+// already computed them for this line.
+func (z *ZCache) lineRows(line uint64) []uint64 {
+	if z.memoOK && z.memoLine == line {
+		return z.memoRows
+	}
+	switch {
+	case z.ws4 != nil:
+		z.ws4.Rows4(line, z.memoRows)
+	case z.h3 != nil:
+		hash.WayRows(z.h3, line, z.memoRows)
+	default:
+		for w := range z.fns {
+			z.memoRows[w] = z.fns[w].Hash(line)
+		}
+	}
+	z.memoLine, z.memoOK = line, true
+	return z.memoRows
 }
 
 // MaxCandidates returns the most candidates a walk can yield: the natural
@@ -218,94 +331,201 @@ func (z *ZCache) MaxCandidates() int {
 // functions and reads the tags there. The walk stops at the configured
 // depth, at the candidate budget, or as soon as an empty slot is found
 // (an empty slot is a free installation — no deeper candidate can beat it).
+//
+// The walk is flat: each level copies the previous level's addresses into a
+// preallocated frontier array, batch-hashes the whole frontier through every
+// way function (one HashBatch call per way per level instead of one Hash
+// call per candidate), then emits candidates by pure index arithmetic —
+// parent i's way-w row sits at rowBuf[w·frontierCap+i]. Epoch-stamped repeat
+// detection rides the same emit pass. Candidate order, counter charges, and
+// early-exit behaviour are bit-identical to the recursive formulation
+// (walk_ref_test.go holds that formulation as a property-test oracle).
 func (z *ZCache) Candidates(line uint64, buf []Candidate) []Candidate {
 	if z.strategy == WalkDFS {
 		return z.candidatesDFS(line, buf)
 	}
 	start := len(buf)
+	// Ensure capacity once so the emit loops below store into buf by index
+	// with no per-candidate append bookkeeping. Level 1 always emits W
+	// candidates even under a tighter budget.
+	need := z.maxCands
+	if need < z.tags.ways {
+		need = z.tags.ways
+	}
+	if cap(buf) < start+need {
+		nb := make([]Candidate, start, start+need)
+		copy(nb, buf)
+		buf = nb
+	}
 	if z.repeatFilter != nil {
 		z.repeatFilter.Reset()
 	}
-	z.walkEpoch++
+	epoch := z.bumpEpoch()
+	z.walks++
 	// Level 1: direct conflicts. Tag reads were charged by the demand
-	// lookup that missed.
+	// lookup that missed, and the rows were memoized by it too (the
+	// inline memo check keeps the common path call-free).
+	rows := z.memoRows
+	if !z.memoOK || z.memoLine != line {
+		rows = z.lineRows(line)
+	}
 	for w := 0; w < z.tags.ways; w++ {
-		row := z.row(w, line)
+		row := rows[w]
 		id := z.tags.slot(w, row)
-		c := Candidate{
+		e := &z.tags.e[id]
+		addr, valid := e.addr, e.valid
+		n := len(buf)
+		buf = buf[:n+1]
+		buf[n] = Candidate{
 			ID:     id,
-			Addr:   z.tags.e[id].addr,
-			Valid:  z.tags.e[id].valid,
+			Addr:   addr,
+			Valid:  valid,
 			Way:    w,
 			Row:    row,
 			Level:  1,
 			Parent: -1,
 		}
-		buf = append(buf, c)
-		z.seen[id] = z.walkEpoch
-		if !c.Valid {
+		z.seen[id] = epoch
+		if !valid {
+			z.noteLevel(1, uint64(len(buf)-start), 0)
 			return buf
 		}
 		if z.repeatFilter != nil {
-			z.repeatFilter.Add(c.Addr)
+			z.repeatFilter.Add(addr)
 		}
 	}
-	// Deeper levels: expand each candidate into the other ways.
+	z.noteLevel(1, uint64(len(buf)-start), 0)
+	// Deeper levels: expand each frontier into the other ways. Hot-path
+	// state is hoisted into locals so the emit loop reads no ZCache fields.
 	levelStart, levelEnd := start, len(buf)
+	tags := z.tags.e
+	seen := z.seen
+	ways := z.tags.ways
+	rowsPerWay := z.tags.rows
+	budget := z.maxCands
+	fcap := z.frontierCap
 	for level := 2; level <= z.levels; level++ {
+		z.hashFrontier(buf[levelStart:levelEnd])
+		rowBuf := z.rowBuf
 		var singleReads uint64
+		levelBase := len(buf)
 		for parent := levelStart; parent < levelEnd; parent++ {
-			p := buf[parent]
-			for w := 0; w < z.tags.ways; w++ {
-				if w == p.Way {
+			pWay := buf[parent].Way
+			ri := parent - levelStart
+			for w := 0; w < ways; w++ {
+				if w == pWay {
 					// This hash matches the slot the parent
 					// already occupies (§III-A: "one of the
 					// hash values always matches").
 					continue
 				}
-				if len(buf)-start >= z.maxCands {
+				if len(buf)-start >= budget {
 					z.chargeWalk(singleReads)
+					z.noteLevel(level, uint64(len(buf)-levelBase), singleReads)
 					return buf
 				}
-				row := z.row(w, p.Addr)
-				id := z.tags.slot(w, row)
+				row := rowBuf[w*fcap+ri]
+				id := repl.BlockID(uint64(w)*rowsPerWay + row)
+				e := &tags[id]
+				addr, valid := e.addr, e.valid
 				singleReads++
-				c := Candidate{
-					ID:     id,
-					Addr:   z.tags.e[id].addr,
-					Valid:  z.tags.e[id].valid,
-					Way:    w,
-					Row:    row,
-					Level:  level,
-					Parent: parent,
-				}
-				if z.seen[id] == z.walkEpoch {
+				if seen[id] == epoch {
 					z.repeats++
 				}
-				if c.Valid && z.repeatFilter != nil && z.repeatFilter.MayContain(c.Addr) {
+				if valid && z.repeatFilter != nil && z.repeatFilter.MayContain(addr) {
 					// Pruned (§III-D): the address was already
 					// visited (or a false positive), so do not
 					// re-add it or expand through it.
 					continue
 				}
-				buf = append(buf, c)
-				z.seen[id] = z.walkEpoch
-				if !c.Valid {
+				n := len(buf)
+				buf = buf[:n+1]
+				buf[n] = Candidate{
+					ID:     id,
+					Addr:   addr,
+					Valid:  valid,
+					Way:    w,
+					Row:    row,
+					Level:  level,
+					Parent: parent,
+				}
+				seen[id] = epoch
+				if !valid {
 					z.chargeWalk(singleReads)
+					z.noteLevel(level, uint64(len(buf)-levelBase), singleReads)
 					return buf
 				}
 				if z.repeatFilter != nil {
-					z.repeatFilter.Add(c.Addr)
+					z.repeatFilter.Add(addr)
 				}
 			}
 		}
 		z.chargeWalk(singleReads)
+		z.noteLevel(level, uint64(len(buf)-levelBase), singleReads)
 		levelStart, levelEnd = levelEnd, len(buf)
 		if levelStart == levelEnd {
 			break
 		}
 	}
 	return buf
+}
+
+// hashFrontier copies the parents' addresses into the frontier scratch and
+// batch-hashes them through every way function, filling
+// rowBuf[w·frontierCap+i] with way w's row for parent i.
+func (z *ZCache) hashFrontier(parents []Candidate) {
+	n := len(parents)
+	for i := range parents {
+		z.frontier[i] = parents[i].Addr
+	}
+	if z.ws4 != nil {
+		z.ws4.RowsBatch4(z.frontier[:n], z.rowBuf, z.frontierCap)
+		return
+	}
+	if z.h3 != nil {
+		for w := 0; w < z.tags.ways; w++ {
+			z.h3[w].HashBatch(z.frontier[:n], z.rowBuf[w*z.frontierCap:w*z.frontierCap+n])
+		}
+		return
+	}
+	for w := 0; w < z.tags.ways; w++ {
+		dst := z.rowBuf[w*z.frontierCap : w*z.frontierCap+n]
+		for i := 0; i < n; i++ {
+			dst[i] = z.fns[w].Hash(z.frontier[i])
+		}
+	}
+}
+
+// noteLevel accumulates the per-level walk profile. The grow path is split
+// out so noteLevel itself stays inlinable on the walk's hot exits.
+func (z *ZCache) noteLevel(level int, emits, reads uint64) {
+	if level > len(z.levelEmits) {
+		z.growProfile(level)
+	}
+	z.levelEmits[level-1] += emits
+	z.levelReads[level-1] += reads
+}
+
+// growProfile extends the profile arrays past the configured depth, which
+// only hybrid expansion walks reach.
+func (z *ZCache) growProfile(level int) {
+	for len(z.levelEmits) < level {
+		z.levelEmits = append(z.levelEmits, 0)
+		z.levelReads = append(z.levelReads, 0)
+	}
+}
+
+// bumpEpoch advances the walk epoch and returns its 16-bit stamp. On the
+// rare low-word wraparound the seen array is cleared (and zero skipped), so
+// a stamp from 65535 walks ago can never alias the live epoch — the repeat
+// accounting is exactly that of unbounded stamps.
+func (z *ZCache) bumpEpoch() uint16 {
+	z.walkEpoch++
+	if uint16(z.walkEpoch) == 0 {
+		z.walkEpoch++
+		clear(z.seen)
+	}
+	return uint16(z.walkEpoch)
 }
 
 // ExpandFrom grows the walk tree below cands[idx] by up to extraLevels more
@@ -326,25 +546,36 @@ func (z *ZCache) ExpandFrom(cands []Candidate, idx, extraLevels int) []Candidate
 	start := len(cands)
 	// Re-stamp the existing tree under a fresh epoch so repeat detection
 	// covers the whole walk even when ExpandFrom is called on its own.
-	z.walkEpoch++
+	epoch := z.bumpEpoch()
 	for i := range cands {
-		z.seen[cands[i].ID] = z.walkEpoch
+		z.seen[cands[i].ID] = epoch
 	}
 	levelStart, levelEnd := idx, idx+1
 	firstLevel := true
 	for lvl := 0; lvl < extraLevels; lvl++ {
+		if len(cands) >= 2*z.maxCands || levelEnd-levelStart > z.frontierCap {
+			// The budget is already spent (possible when the caller
+			// hands in an oversized tree): nothing would be emitted
+			// or charged, so stop before staging the frontier.
+			return cands
+		}
+		z.hashFrontier(cands[levelStart:levelEnd])
 		var singleReads uint64
+		levelBase := len(cands)
+		level := cands[levelStart].Level + 1
 		for parent := levelStart; parent < levelEnd; parent++ {
-			p := cands[parent]
+			pWay := cands[parent].Way
+			ri := parent - levelStart
 			for w := 0; w < z.tags.ways; w++ {
-				if w == p.Way {
+				if w == pWay {
 					continue
 				}
 				if len(cands) >= 2*z.maxCands {
 					z.chargeWalk(singleReads)
+					z.noteLevel(level, uint64(len(cands)-levelBase), singleReads)
 					return cands
 				}
-				row := z.row(w, p.Addr)
+				row := z.rowBuf[w*z.frontierCap+ri]
 				id := z.tags.slot(w, row)
 				singleReads++
 				c := Candidate{
@@ -353,21 +584,23 @@ func (z *ZCache) ExpandFrom(cands []Candidate, idx, extraLevels int) []Candidate
 					Valid:  z.tags.e[id].valid,
 					Way:    w,
 					Row:    row,
-					Level:  p.Level + 1,
+					Level:  cands[parent].Level + 1,
 					Parent: parent,
 				}
-				if z.seen[id] == z.walkEpoch {
+				if z.seen[id] == epoch {
 					z.repeats++
 				}
 				cands = append(cands, c)
-				z.seen[id] = z.walkEpoch
+				z.seen[id] = epoch
 				if !c.Valid {
 					z.chargeWalk(singleReads)
+					z.noteLevel(level, uint64(len(cands)-levelBase), singleReads)
 					return cands
 				}
 			}
 		}
 		z.chargeWalk(singleReads)
+		z.noteLevel(level, uint64(len(cands)-levelBase), singleReads)
 		if firstLevel {
 			levelStart, firstLevel = start, false
 		} else {
@@ -390,7 +623,7 @@ func (z *ZCache) ExpandFrom(cands []Candidate, idx, extraLevels int) []Candidate
 // cannot be pipelined.
 func (z *ZCache) candidatesDFS(line uint64, buf []Candidate) []Candidate {
 	start := len(buf)
-	z.walkEpoch++
+	epoch := z.bumpEpoch()
 	for w := 0; w < z.tags.ways; w++ {
 		row := z.row(w, line)
 		id := z.tags.slot(w, row)
@@ -404,7 +637,7 @@ func (z *ZCache) candidatesDFS(line uint64, buf []Candidate) []Candidate {
 			Parent: -1,
 		}
 		buf = append(buf, c)
-		z.seen[id] = z.walkEpoch
+		z.seen[id] = epoch
 		if !c.Valid {
 			return buf
 		}
@@ -432,14 +665,14 @@ func (z *ZCache) candidatesDFS(line uint64, buf []Candidate) []Candidate {
 			Level:  p.Level + 1,
 			Parent: cur,
 		}
-		if z.seen[id] == z.walkEpoch {
+		if z.seen[id] == epoch {
 			z.repeats++
 			// A chain that bites its own tail cannot continue; the
 			// controller will pick among what was found.
 			break
 		}
 		buf = append(buf, c)
-		z.seen[id] = z.walkEpoch
+		z.seen[id] = epoch
 		if !c.Valid {
 			break
 		}
@@ -533,6 +766,18 @@ func (z *ZCache) Adopt(id repl.BlockID, line uint64) error {
 	z.tags.e[id] = tagEntry{addr: line, valid: true}
 	z.ctr.TagWrites++
 	return nil
+}
+
+// SlotLine reports the line resident in slot id, if any. It is a single tag
+// read with no ranking side effects — the cheap revalidation zkv's deferred
+// read-hit touches use to confirm a slot still holds the fingerprint they
+// were queued for.
+func (z *ZCache) SlotLine(id repl.BlockID) (uint64, bool) {
+	if int(id) >= len(z.tags.e) {
+		return 0, false
+	}
+	e := &z.tags.e[id]
+	return e.addr, e.valid
 }
 
 // Invalidate removes line if resident.

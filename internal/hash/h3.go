@@ -87,6 +87,133 @@ func (h *H3) Hash(addr uint64) uint64 {
 	return a ^ b ^ c ^ d
 }
 
+// HashBatch writes h(addrs[i]) into dst[i] for every i. One call hashes a
+// whole zcache walk frontier: the nibble-table base stays in a register and
+// the per-call overhead of Hash (not inlinable — it loops) is paid once per
+// level instead of once per candidate. Addresses are processed in pairs so
+// the two table walks interleave; H3 table lookups have no cross-address
+// dependencies, so the CPU overlaps their loads. dst must be at least as
+// long as addrs.
+func (h *H3) HashBatch(addrs []uint64, dst []uint64) {
+	dst = dst[:len(addrs)]
+	i := 0
+	for ; i+1 < len(addrs); i += 2 {
+		x, y := addrs[i], addrs[i+1]
+		var xa, xb, xc, xd uint64
+		var ya, yb, yc, yd uint64
+		for pos := 0; x != 0 || y != 0; pos += 4 {
+			xa ^= h.nibble[pos][x&0xf]
+			ya ^= h.nibble[pos][y&0xf]
+			xb ^= h.nibble[pos+1][(x>>4)&0xf]
+			yb ^= h.nibble[pos+1][(y>>4)&0xf]
+			xc ^= h.nibble[pos+2][(x>>8)&0xf]
+			yc ^= h.nibble[pos+2][(y>>8)&0xf]
+			xd ^= h.nibble[pos+3][(x>>12)&0xf]
+			yd ^= h.nibble[pos+3][(y>>12)&0xf]
+			x >>= 16
+			y >>= 16
+		}
+		dst[i] = xa ^ xb ^ xc ^ xd
+		dst[i+1] = ya ^ yb ^ yc ^ yd
+	}
+	if i < len(addrs) {
+		dst[i] = h.Hash(addrs[i])
+	}
+}
+
+// WayRows writes fns[w](addr) into dst[w] for every way function. Skew-style
+// probes (skew lookup, zcache lookup, the controller's flat miss path) hash
+// one address through all W way functions; computing the rows up front in one
+// pass lets the tag probes that follow issue back to back instead of
+// alternating hash → load → branch per way. dst must be at least as long as
+// fns.
+func WayRows(fns []*H3, addr uint64, dst []uint64) {
+	dst = dst[:len(fns)]
+	for w, h := range fns {
+		var a, b, c, d uint64
+		x := addr
+		for pos := 0; x != 0; pos += 4 {
+			a ^= h.nibble[pos][x&0xf]
+			b ^= h.nibble[pos+1][(x>>4)&0xf]
+			c ^= h.nibble[pos+2][(x>>8)&0xf]
+			d ^= h.nibble[pos+3][(x>>12)&0xf]
+			x >>= 16
+		}
+		dst[w] = a ^ b ^ c ^ d
+	}
+}
+
+// WaySet4 merges the nibble tables of exactly four H3 way functions into a
+// single way-major table: entry ((pos·16)+v)·4+w holds way w's partial for
+// nibble value v at position pos. One table walk then yields all four ways'
+// rows at once — the four partials for a nibble sit in 32 contiguous bytes,
+// so a lookup that would touch four scattered 2 KiB tables touches half a
+// cache line instead, and the per-way call overhead disappears. This is the
+// shape the zcache walk wants: every probe (demand lookup, walk expansion)
+// needs the same address through all W ways.
+type WaySet4 struct {
+	tab [1024]uint64 // ((pos*16)+v)*4 + w
+}
+
+// NewWaySet4 builds the merged table, or returns nil if fns is not exactly
+// four functions.
+func NewWaySet4(fns []*H3) *WaySet4 {
+	if len(fns) != 4 {
+		return nil
+	}
+	ws := &WaySet4{}
+	for w, h := range fns {
+		for pos := 0; pos < 16; pos++ {
+			for v := 0; v < 16; v++ {
+				ws.tab[((pos<<4)|v)<<2|w] = h.nibble[pos][v]
+			}
+		}
+	}
+	return ws
+}
+
+// Rows4 writes the four ways' rows for addr into dst[0..3]. The masks keep
+// every table index provably in range, so the loop runs bounds-check free.
+func (ws *WaySet4) Rows4(addr uint64, dst []uint64) {
+	_ = dst[3]
+	var a0, a1, a2, a3 uint64
+	for p := 0; addr != 0; p += 4 {
+		o0 := (p<<6 | int(addr&0xf)<<2) & 1023
+		o1 := ((p+1)<<6 | int(addr>>4&0xf)<<2) & 1023
+		o2 := ((p+2)<<6 | int(addr>>8&0xf)<<2) & 1023
+		o3 := ((p+3)<<6 | int(addr>>12&0xf)<<2) & 1023
+		a0 ^= ws.tab[o0] ^ ws.tab[o1] ^ ws.tab[o2] ^ ws.tab[o3]
+		a1 ^= ws.tab[o0|1] ^ ws.tab[o1|1] ^ ws.tab[o2|1] ^ ws.tab[o3|1]
+		a2 ^= ws.tab[o0|2] ^ ws.tab[o1|2] ^ ws.tab[o2|2] ^ ws.tab[o3|2]
+		a3 ^= ws.tab[o0|3] ^ ws.tab[o1|3] ^ ws.tab[o2|3] ^ ws.tab[o3|3]
+		addr >>= 16
+	}
+	dst[0], dst[1], dst[2], dst[3] = a0, a1, a2, a3
+}
+
+// RowsBatch4 hashes a whole walk frontier in one call: for each addrs[i] it
+// writes way w's row into dst[w·stride+i], the way-major layout the flat
+// walk indexes by pure arithmetic. dst must hold at least 3·stride+len(addrs)
+// elements.
+func (ws *WaySet4) RowsBatch4(addrs []uint64, dst []uint64, stride int) {
+	_ = dst[3*stride+len(addrs)-1]
+	for i, addr := range addrs {
+		var a0, a1, a2, a3 uint64
+		for p := 0; addr != 0; p += 4 {
+			o0 := (p<<6 | int(addr&0xf)<<2) & 1023
+			o1 := ((p+1)<<6 | int(addr>>4&0xf)<<2) & 1023
+			o2 := ((p+2)<<6 | int(addr>>8&0xf)<<2) & 1023
+			o3 := ((p+3)<<6 | int(addr>>12&0xf)<<2) & 1023
+			a0 ^= ws.tab[o0] ^ ws.tab[o1] ^ ws.tab[o2] ^ ws.tab[o3]
+			a1 ^= ws.tab[o0|1] ^ ws.tab[o1|1] ^ ws.tab[o2|1] ^ ws.tab[o3|1]
+			a2 ^= ws.tab[o0|2] ^ ws.tab[o1|2] ^ ws.tab[o2|2] ^ ws.tab[o3|2]
+			a3 ^= ws.tab[o0|3] ^ ws.tab[o1|3] ^ ws.tab[o2|3] ^ ws.tab[o3|3]
+			addr >>= 16
+		}
+		dst[i], dst[stride+i], dst[2*stride+i], dst[3*stride+i] = a0, a1, a2, a3
+	}
+}
+
 // Buckets returns the output range size.
 func (h *H3) Buckets() uint64 { return h.bkts }
 

@@ -32,6 +32,13 @@ type LoadConfig struct {
 	Pipeline int
 	// Seed makes the key sequence reproducible.
 	Seed uint64
+	// Writers is the number of dedicated all-SET connections kept
+	// saturated for the duration of the run (default 0). They model
+	// relocation-chain pressure: the measured clients' percentiles then
+	// show how readers behave while walks are in flight. Writer
+	// operations are reported separately and excluded from Ops and the
+	// latency percentiles.
+	Writers int
 }
 
 func (c LoadConfig) withDefaults() (LoadConfig, error) {
@@ -59,7 +66,7 @@ func (c LoadConfig) withDefaults() (LoadConfig, error) {
 	if c.Pipeline == 0 {
 		c.Pipeline = 16
 	}
-	if c.Clients < 0 || c.Ops < 0 || c.KeySpace < 1 || c.ValBytes < 0 || c.Pipeline < 1 {
+	if c.Clients < 0 || c.Ops < 0 || c.KeySpace < 1 || c.ValBytes < 0 || c.Pipeline < 1 || c.Writers < 0 {
 		return c, fmt.Errorf("zkv: invalid load config %+v", c)
 	}
 	return c, nil
@@ -81,6 +88,12 @@ type LoadReport struct {
 	// moment its reply is decoded — so pipeline queueing shows up in the
 	// tail, exactly as a caller would experience it. Zero when no ops ran.
 	P50, P99, P999, PMax time.Duration
+
+	// WriterSets and WriterErrors aggregate the background writer
+	// connections (LoadConfig.Writers); they are excluded from Ops and
+	// the percentiles above.
+	WriterSets   int
+	WriterErrors int
 }
 
 // percentile reads the q-quantile from an ascending-sorted latency slice.
@@ -106,6 +119,70 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		err                            error
 	}
 	results := make([]result, cfg.Clients)
+
+	// Background writers: all-SET connections that run until the measured
+	// clients finish, keeping eviction walks and relocation chains in
+	// flight for the whole measurement window.
+	type wresult struct {
+		sets, errs int
+		err        error
+	}
+	wresults := make([]wresult, cfg.Writers)
+	stopWriters := make(chan struct{})
+	var wwg sync.WaitGroup
+	for wi := 0; wi < cfg.Writers; wi++ {
+		wwg.Add(1)
+		go func(wi int) {
+			defer wwg.Done()
+			res := &wresults[wi]
+			cl, err := zkvproto.Dial(cfg.Addr)
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer cl.Close()
+			// A distinct salt keeps writer key streams decorrelated
+			// from the measured clients'.
+			rng := hash.Mix64(cfg.Seed ^ 0xa5a5a5a55a5a5a5a ^ (uint64(wi)+1)*0x9e3779b97f4a7c15)
+			key := make([]byte, 8)
+			val := make([]byte, cfg.ValBytes)
+			for {
+				select {
+				case <-stopWriters:
+					return
+				default:
+				}
+				for b := 0; b < cfg.Pipeline; b++ {
+					rng ^= rng >> 12
+					rng ^= rng << 25
+					rng ^= rng >> 27
+					draw := rng * 0x2545f4914f6cdd1d
+					binary.BigEndian.PutUint64(key, draw%uint64(cfg.KeySpace))
+					if err := cl.QueueSet(key, val); err != nil {
+						res.err = err
+						return
+					}
+				}
+				if err := cl.Flush(); err != nil {
+					res.err = err
+					return
+				}
+				for b := 0; b < cfg.Pipeline; b++ {
+					resp, err := cl.ReadReply()
+					if err != nil {
+						res.err = err
+						return
+					}
+					if resp.Status == zkvproto.StatusOK {
+						res.sets++
+					} else {
+						res.errs++
+					}
+				}
+			}
+		}(wi)
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	for ci := 0; ci < cfg.Clients; ci++ {
@@ -189,8 +266,18 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	close(stopWriters)
+	wwg.Wait()
 
 	rep := LoadReport{Wall: wall}
+	for i := range wresults {
+		r := &wresults[i]
+		if r.err != nil {
+			return rep, fmt.Errorf("zkv: load writer %d: %w", i, r.err)
+		}
+		rep.WriterSets += r.sets
+		rep.WriterErrors += r.errs
+	}
 	var lats []time.Duration
 	for i := range results {
 		r := &results[i]

@@ -1,0 +1,328 @@
+package zkv
+
+// Lock-free GETs. Each shard keeps an atomic per-slot mirror of its key/value
+// cells (rcells) plus a sequence counter (seq) that writers bump to odd
+// before mutating and back to even after, exactly the protocol
+// internal/slotstore uses on disk. A reader hashes the fingerprint through
+// the shard's own way functions, probes the mirror slots directly, copies
+// the value out, and then re-checks seq: if it moved, the window overlapped
+// a mutation and the read retries. After seqlockRetries unstable windows the
+// reader falls back to the mutex path, so writers can never starve readers
+// into spinning forever.
+//
+// A read hit must still touch the replacement ranking — that is what makes
+// zkv's eviction decisions bit-identical to the simulator's. Ranking state
+// is single-writer, so hits enqueue their fingerprint on a bounded MPMC ring
+// (Vyukov-style ticket ring) instead of taking the lock; every locked
+// section that consumes or advances the ranking (Set, Delete, the locked Get
+// fallback) first drains the ring FIFO and applies the deferred touches.
+// In a sequential replay this reproduces the old locked schedule exactly:
+// each touch lands, in order, before the next ranking-consuming operation —
+// so ReplayEquiv stays bit-for-bit. When the ring is full the reader takes
+// the mutex, drains, and applies its own touch inline rather than dropping
+// it, which bounds ring memory without ever losing a ranking event.
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync/atomic"
+
+	"zcache/internal/repl"
+)
+
+// seqlockRetries bounds optimistic read attempts before falling back to the
+// mutex. Relocation chains hold seq odd for microseconds at most; 16 retries
+// with Gosched between them outlasts any single mutation.
+const seqlockRetries = 16
+
+// touchRingSize is the deferred-touch ring capacity (power of two). At 256,
+// a drain amortizes to one Peek+Touch per GET — the same ranking work the
+// locked path did — in batches.
+const touchRingSize = 256
+
+// rcell is one slot's lock-free mirror. meta packs klen<<32|vlen and is zero
+// iff the slot is dead (live keys are at least one byte). words holds the
+// key bytes then the value bytes, packed little-endian into atomic 64-bit
+// words; the buffer is reused in place and republished only on growth, so
+// steady-state writes allocate nothing. Readers that observe a half-written
+// cell are rejected by the seq re-check, but every access is an atomic op,
+// so no schedule is a data race.
+type rcell struct {
+	fp    atomic.Uint64
+	meta  atomic.Uint64
+	words atomic.Pointer[[]atomic.Uint64]
+}
+
+// publishCell mirrors (fp, key, val) into slot id. Caller holds the shard
+// mutex with seq odd (or is single-threaded at Open).
+func (sh *shard) publishCell(id repl.BlockID, fp uint64, key, val []byte) {
+	c := &sh.rcells[id]
+	b := append(append(sh.encBuf[:0], key...), val...)
+	for len(b)&7 != 0 {
+		b = append(b, 0)
+	}
+	sh.encBuf = b
+	nw := len(b) >> 3
+	p := c.words.Load()
+	var w []atomic.Uint64
+	if p != nil && len(*p) >= nw {
+		w = *p
+	} else {
+		// Grow with headroom like append, and publish the full-capacity
+		// slice so identity only changes when the buffer does.
+		size := nw
+		if p != nil && 2*len(*p) > size {
+			size = 2 * len(*p)
+		}
+		fresh := make([]atomic.Uint64, size)
+		w = fresh
+		c.words.Store(&fresh)
+	}
+	for i := 0; i < nw; i++ {
+		w[i].Store(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	c.fp.Store(fp)
+	c.meta.Store(uint64(len(key))<<32 | uint64(len(val)))
+}
+
+// killCell marks slot id dead in the mirror.
+func (sh *shard) killCell(id repl.BlockID) {
+	sh.rcells[id].meta.Store(0)
+}
+
+// moveCell replays a relocation on the mirror: to inherits from's entry and
+// from goes dead, with the displaced buffer swapped back for reuse — the
+// same dance SlotMoved does on the plain cells.
+func (sh *shard) moveCell(from, to repl.BlockID) {
+	cf, ct := &sh.rcells[from], &sh.rcells[to]
+	pf, pt := cf.words.Load(), ct.words.Load()
+	cf.words.Store(pt)
+	ct.words.Store(pf)
+	ct.fp.Store(cf.fp.Load())
+	ct.meta.Store(cf.meta.Load())
+	cf.meta.Store(0)
+}
+
+// getLockFree is the Store.Get body: optimistic seqlock reads with a locked
+// fallback. The value lands in dst (appended) only on a validated hit.
+func (sh *shard) getLockFree(fp uint64, key, dst []byte) ([]byte, bool) {
+	base := len(dst)
+	for attempt := 0; attempt < seqlockRetries; attempt++ {
+		s1 := sh.seq.Load()
+		if s1&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		out, slot, hit, collision, clean := sh.probeCells(fp, key, dst)
+		if !clean || sh.seq.Load() != s1 {
+			dst = dst[:base]
+			continue
+		}
+		sh.gets.Add(1)
+		if hit {
+			sh.getHits.Add(1)
+			sh.noteTouch(fp, slot, key)
+			return out, true
+		}
+		if collision {
+			sh.collisions.Add(1)
+		}
+		sh.getMisses.Add(1)
+		return out, false
+	}
+	sh.getLocked.Add(1)
+	sh.mu.Lock()
+	sh.drainTouches()
+	dst, ok := sh.get(fp, key, dst)
+	sh.mu.Unlock()
+	return dst, ok
+}
+
+// probeCells hashes fp to its one slot per way and reads the mirror. It
+// reports (dst', slot, hit, collision, clean); clean=false flags an
+// internally inconsistent cell (a torn window) that the caller must retry.
+// The key is compared and the value appended in a single pass over the
+// packed words, so a hit costs exactly one decode and zero allocations when
+// dst has capacity.
+func (sh *shard) probeCells(fp uint64, key, dst []byte) ([]byte, uint64, bool, bool, bool) {
+	var c *rcell
+	var meta, slot uint64
+	if sh.ws4 != nil {
+		var rows [4]uint64
+		sh.ws4.Rows4(fp, rows[:])
+		for w := uint64(0); w < 4; w++ {
+			id := w*sh.rowsPer + rows[w]
+			cand := &sh.rcells[id]
+			if cand.fp.Load() == fp {
+				if m := cand.meta.Load(); m != 0 {
+					c, meta, slot = cand, m, id
+					break
+				}
+			}
+		}
+	} else {
+		for w, fn := range sh.rfns {
+			id := uint64(w)*sh.rowsPer + fn.Hash(fp)
+			cand := &sh.rcells[id]
+			if cand.fp.Load() == fp {
+				if m := cand.meta.Load(); m != 0 {
+					c, meta, slot = cand, m, id
+					break
+				}
+			}
+		}
+	}
+	if c == nil {
+		return dst, 0, false, false, true
+	}
+	klen := int(meta >> 32)
+	vlen := int(meta & 0xffffffff)
+	if klen != len(key) {
+		// Fingerprint alias with a different key: a verified miss, same
+		// as the locked path's failed bytesEqual.
+		return dst, 0, false, true, true
+	}
+	p := c.words.Load()
+	total := klen + vlen
+	if p == nil || len(*p)*8 < total {
+		return dst, 0, false, false, false
+	}
+	w := *p
+	// Word-aligned fast path: with a whole-word key (8-byte keys are what
+	// zcached serves) the key is one word compare and the value words copy
+	// straight into dst without byte shuffling.
+	if klen == 8 && cap(dst)-len(dst) >= vlen {
+		if w[0].Load() != binary.LittleEndian.Uint64(key) {
+			return dst, 0, false, true, true
+		}
+		n := len(dst)
+		out := dst[:n+vlen]
+		off, wi := 0, 1
+		for ; off+8 <= vlen; off, wi = off+8, wi+1 {
+			binary.LittleEndian.PutUint64(out[n+off:], w[wi].Load())
+		}
+		if off < vlen {
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], w[wi].Load())
+			copy(out[n+off:], tmp[:vlen-off])
+		}
+		return out, slot, true, false, true
+	}
+	keyOK := true
+	pos := 0
+	var tmp [8]byte
+	for wi := 0; pos < total; wi++ {
+		binary.LittleEndian.PutUint64(tmp[:], w[wi].Load())
+		n := total - pos
+		if n > 8 {
+			n = 8
+		}
+		chunk := tmp[:n]
+		if pos < klen {
+			k := klen - pos
+			if k > n {
+				k = n
+			}
+			for j := 0; j < k; j++ {
+				if chunk[j] != key[pos+j] {
+					keyOK = false
+				}
+			}
+			chunk = chunk[k:]
+		}
+		if len(chunk) > 0 {
+			dst = append(dst, chunk...)
+		}
+		pos += n
+	}
+	if !keyOK {
+		return dst[:len(dst)-vlen], 0, false, true, true
+	}
+	return dst, slot, true, false, true
+}
+
+// noteTouch records a validated read hit for the ranking. The fast path is a
+// ring enqueue of (fp, slot); a full ring means ~touchRingSize hits landed
+// since the last write, so this reader pays the drain itself and applies its
+// touch inline — deferred, never dropped.
+func (sh *shard) noteTouch(fp, slot uint64, key []byte) {
+	if sh.touches.enqueue(fp, uint32(slot)) {
+		return
+	}
+	sh.mu.Lock()
+	sh.drainTouches()
+	if id, ok := sh.c.Peek(fp); ok && bytesEqual(sh.keys[id], key) {
+		sh.c.Touch(id, false)
+	}
+	sh.mu.Unlock()
+}
+
+// drainTouches applies every queued read-hit touch in FIFO order. Caller
+// holds the shard mutex. Each entry carries the slot the hit validated in,
+// so revalidation is one tag read — the slot still holding that fingerprint
+// — instead of a full re-hash-and-probe. An entry whose slot moved on (the
+// key was evicted or relocated since it was queued) is skipped: the ranking
+// event belongs to a cell that no longer holds the key.
+func (sh *shard) drainTouches() {
+	r := &sh.touches
+	for {
+		pos := r.deq.Load()
+		c := &r.cells[pos&r.mask]
+		if c.seq.Load() != pos+1 {
+			return
+		}
+		fp, id := c.fp, repl.BlockID(c.id)
+		r.deq.Store(pos + 1)
+		c.seq.Store(pos + uint64(len(r.cells)))
+		if line, ok := sh.arr.SlotLine(id); ok && line == fp {
+			sh.c.Touch(id, false)
+		}
+	}
+}
+
+// touchRing is a bounded MPMC queue of deferred touch fingerprints
+// (Vyukov's ticket ring). Producers are lock-free readers; the single
+// consumer is whichever writer drains under the shard mutex. Each cell's seq
+// ticket orders the handoff, so the plain fp field is always published
+// before it is read.
+type touchRing struct {
+	mask  uint64
+	enq   atomic.Uint64
+	deq   atomic.Uint64
+	cells []touchCell
+}
+
+type touchCell struct {
+	seq atomic.Uint64
+	fp  uint64
+	id  uint32
+}
+
+func (r *touchRing) init(size int) {
+	r.cells = make([]touchCell, size)
+	r.mask = uint64(size - 1)
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+}
+
+// enqueue claims a cell and publishes (fp, id), or reports false when the
+// ring is full.
+func (r *touchRing) enqueue(fp uint64, id uint32) bool {
+	for {
+		pos := r.enq.Load()
+		c := &r.cells[pos&r.mask]
+		s := c.seq.Load()
+		switch {
+		case s == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				c.fp = fp
+				c.id = id
+				c.seq.Store(pos + 1)
+				return true
+			}
+		case s < pos:
+			return false
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"zcache/internal/cache"
 	"zcache/internal/hash"
@@ -198,18 +199,17 @@ func (s *Store) shardFor(fp uint64) *shard {
 
 // Get appends the value stored under key to dst and returns it, with
 // whether the key was resident. A hit touches the replacement ranking
-// exactly like a read hit in the simulator. Steady state allocates nothing
-// when dst has capacity.
+// exactly like a read hit in the simulator (the touch is deferred through
+// the shard's ring; see seqlock.go). GETs do not take the shard mutex:
+// they validate against the shard's sequence counter and retry if a
+// mutation raced, so readers never wait behind a relocation chain. Steady
+// state allocates nothing when dst has capacity.
 func (s *Store) Get(key, dst []byte) ([]byte, bool) {
 	if len(key) == 0 || len(key) > s.cfg.MaxKeyBytes {
 		return dst, false
 	}
 	fp := hash.Bytes64(key)
-	sh := s.shardFor(fp)
-	sh.mu.Lock()
-	dst, ok := sh.get(fp, key, dst)
-	sh.mu.Unlock()
-	return dst, ok
+	return s.shardFor(fp).getLockFree(fp, key, dst)
 }
 
 // Set stores val under key, evicting (and possibly relocating) resident
@@ -226,7 +226,10 @@ func (s *Store) Set(key, val []byte) error {
 	fp := hash.Bytes64(key)
 	sh := s.shardFor(fp)
 	sh.mu.Lock()
+	sh.drainTouches()
+	sh.seq.Add(1)
 	sh.set(fp, key, val)
+	sh.seq.Add(1)
 	sh.mu.Unlock()
 	return nil
 }
@@ -239,7 +242,10 @@ func (s *Store) Delete(key []byte) bool {
 	fp := hash.Bytes64(key)
 	sh := s.shardFor(fp)
 	sh.mu.Lock()
+	sh.drainTouches()
+	sh.seq.Add(1)
 	ok := sh.del(fp, key)
+	sh.seq.Add(1)
 	sh.mu.Unlock()
 	return ok
 }
@@ -278,7 +284,10 @@ type Stats struct {
 	Gets       uint64
 	GetHits    uint64
 	GetMisses  uint64
-	Sets       uint64
+	// GetLocked counts GETs that exhausted their seqlock retries and fell
+	// back to the shard mutex (not hits that merely deferred a touch).
+	GetLocked uint64
+	Sets      uint64
 	Inserts    uint64
 	Overwrites uint64
 	Dels       uint64
@@ -302,16 +311,17 @@ func (s *Store) Stats() Stats {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		out.Resident += sh.resident
-		out.Gets += sh.gets
-		out.GetHits += sh.getHits
-		out.GetMisses += sh.getMisses
+		out.Gets += sh.gets.Load()
+		out.GetHits += sh.getHits.Load()
+		out.GetMisses += sh.getMisses.Load()
+		out.GetLocked += sh.getLocked.Load()
 		out.Sets += sh.sets
 		out.Inserts += sh.inserts
 		out.Overwrites += sh.overwrites
 		out.Dels += sh.dels
 		out.DelHits += sh.delHits
 		out.Evictions += sh.evictions
-		out.Collisions += sh.collisions
+		out.Collisions += sh.collisions.Load()
 		out.Relocations += sh.arr.Counters().Relocations
 		for i, v := range sh.walkHist {
 			out.WalkDepth[i] += v
@@ -334,12 +344,28 @@ type shard struct {
 	keys [][]byte
 	vals [][]byte
 
+	// Lock-free read state (see seqlock.go): seq is the shard seqlock
+	// (odd while a mutation is in flight), rcells the atomic mirror of
+	// the slot cells, touches the deferred read-hit ring, and
+	// ws4/rfns/rowsPer let readers hash fingerprints to slots without
+	// touching the tag array. encBuf is the writer's packing scratch.
+	seq     atomic.Uint64
+	rcells  []rcell
+	touches touchRing
+	ws4     *hash.WaySet4
+	rfns    []hash.Func
+	rowsPer uint64
+	encBuf  []byte
+
 	resident int
 
-	gets, getHits, getMisses  uint64
+	// Counters written by lock-free readers are atomic; the rest are
+	// writer-only under mu.
+	gets, getHits, getMisses  atomic.Uint64
+	collisions, getLocked     atomic.Uint64
 	sets, inserts, overwrites uint64
 	dels, delHits             uint64
-	evictions, collisions     uint64
+	evictions                 uint64
 	walkHist                  [WalkHistBuckets]uint64
 	movesThisInstall          int
 	deleting                  bool
@@ -388,12 +414,27 @@ func newShard(cfg Config, i int) (*shard, error) {
 		return nil, err
 	}
 	sh := &shard{
-		c:    c,
-		arr:  arr,
-		keys: make([][]byte, arr.Blocks()),
-		vals: make([][]byte, arr.Blocks()),
-		idx:  i,
+		c:       c,
+		arr:     arr,
+		keys:    make([][]byte, arr.Blocks()),
+		vals:    make([][]byte, arr.Blocks()),
+		rcells:  make([]rcell, arr.Blocks()),
+		rfns:    fns,
+		rowsPer: cfg.Rows,
+		idx:     i,
 	}
+	if cfg.Ways == 4 {
+		h3s := make([]*hash.H3, 0, 4)
+		for _, f := range fns {
+			if h, ok := f.(*hash.H3); ok {
+				h3s = append(h3s, h)
+			}
+		}
+		if len(h3s) == 4 {
+			sh.ws4 = hash.NewWaySet4(h3s)
+		}
+	}
+	sh.touches.init(touchRingSize)
 	c.SetSlotObserver(sh)
 	return sh, nil
 }
@@ -404,6 +445,7 @@ func newShard(cfg Config, i int) (*shard, error) {
 // array aligned with the tag array.
 func (sh *shard) SlotEvicted(id repl.BlockID, line uint64, dirty bool) {
 	sh.resident--
+	sh.killCell(id)
 	if sh.ps != nil {
 		sh.ps.ClearSlot(int(id))
 	}
@@ -423,27 +465,29 @@ func (sh *shard) SlotEvicted(id repl.BlockID, line uint64, dirty bool) {
 func (sh *shard) SlotMoved(from, to repl.BlockID) {
 	sh.keys[from], sh.keys[to] = sh.keys[to], sh.keys[from]
 	sh.vals[from], sh.vals[to] = sh.vals[to], sh.vals[from]
+	sh.moveCell(from, to)
 	sh.movesThisInstall++
 	if sh.ps != nil {
 		sh.ps.MoveSlot(int(from), int(to))
 	}
 }
 
-// get is the locked Get body; the value is appended to dst.
+// get is the locked Get body (the seqlock fallback); the value is appended
+// to dst.
 func (sh *shard) get(fp uint64, key, dst []byte) ([]byte, bool) {
-	sh.gets++
+	sh.gets.Add(1)
 	id, ok := sh.c.Peek(fp)
 	if !ok {
-		sh.getMisses++
+		sh.getMisses.Add(1)
 		return dst, false
 	}
 	if !bytesEqual(sh.keys[id], key) {
-		sh.collisions++
-		sh.getMisses++
+		sh.collisions.Add(1)
+		sh.getMisses.Add(1)
 		return dst, false
 	}
 	sh.c.Touch(id, false)
-	sh.getHits++
+	sh.getHits.Add(1)
 	return append(dst, sh.vals[id]...), true
 }
 
@@ -462,7 +506,7 @@ func (sh *shard) set(fp uint64, key, val []byte) {
 			// Fingerprint alias: a different key owns this tag. A
 			// cache may replace it — the verified-get contract keeps
 			// the alias from ever serving the wrong value.
-			sh.collisions++
+			sh.collisions.Add(1)
 		}
 	} else {
 		sh.inserts++
@@ -475,6 +519,7 @@ func (sh *shard) set(fp uint64, key, val []byte) {
 	}
 	sh.keys[id] = append(sh.keys[id][:0], key...)
 	sh.vals[id] = append(sh.vals[id][:0], val...)
+	sh.publishCell(id, fp, key, val)
 	if mirrored && sh.ps != nil {
 		persisted, err := sh.ps.SetSlot(int(id), fp, key, val)
 		if err != nil {
