@@ -9,7 +9,16 @@
 // and in-flight requests for up to -drain, and the process exits 0.
 //
 // With -metrics ADDR, a plain-text metrics endpoint (the same counter text
-// the STATS op returns) is served at http://ADDR/metrics.
+// the STATS op returns) is served at http://ADDR/metrics, and a readiness
+// probe at http://ADDR/ready answers 200 "ok" while the server accepts new
+// connections and 503 "draining" once shutdown begins — the hook a load
+// balancer needs to stop routing before the drain window closes.
+//
+// The serving path defends itself (see DESIGN.md §12): -idle-timeout
+// closes connections that start no request, -read-timeout closes
+// slow-loris senders mid-frame, -write-timeout closes stalled readers,
+// and -max-pipeline sheds requests past the per-connection pipeline depth
+// with a busy reply instead of buffering without bound.
 //
 // With -persist DIR, every shard mirrors its slot cells into an mmap-backed
 // slotstore file under DIR. A graceful shutdown checkpoints and clean-marks
@@ -58,6 +67,10 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		maxConns = fs.Int("max-conns", 0, "max concurrent connections (0 = 4*GOMAXPROCS)")
 		maxVal   = fs.Int("max-val", 1<<20, "max value size in bytes")
 		drain    = fs.Duration("drain", 5*time.Second, "shutdown drain window for in-flight requests")
+		idleTO   = fs.Duration("idle-timeout", 0, "close connections idle this long between requests (0 = 5m, negative = off)")
+		readTO   = fs.Duration("read-timeout", 0, "close connections that stall mid-frame this long (0 = 10s, negative = off)")
+		writeTO  = fs.Duration("write-timeout", 0, "close connections whose reads stall a response write this long (0 = 10s, negative = off)")
+		maxPipe  = fs.Int("max-pipeline", 0, "shed requests past this per-connection pipeline depth with a busy reply (0 = 1024, negative = off)")
 		metrics  = fs.String("metrics", "", "optional HTTP address serving /metrics (empty = off)")
 		persist  = fs.String("persist", "", "directory for mmap-backed persistent shards (empty = off); warm-restores valid shard images on boot")
 		psync    = fs.Bool("persist-sync", false, "msync every persisted mutation (crash-bounded loss, much slower)")
@@ -90,6 +103,8 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 
 	srv := zkv.NewServer(store, zkv.ServerConfig{
 		Addr: *addr, MaxConns: *maxConns, DrainTimeout: *drain,
+		IdleTimeout: *idleTO, ReadTimeout: *readTO, WriteTimeout: *writeTO,
+		MaxPipeline: *maxPipe,
 	})
 
 	// Signals share the shutdown path with ctx cancellation so tests can
@@ -103,6 +118,15 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			w.Write(srv.MetricsText())
+		})
+		mux.HandleFunc("/ready", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain")
+			if srv.Ready() {
+				fmt.Fprintln(w, "ok")
+				return
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
 		})
 		msrv = &http.Server{Addr: *metrics, Handler: mux}
 		go func() {

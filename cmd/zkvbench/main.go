@@ -10,8 +10,21 @@
 // and errors. With -writers N, N additional all-SET connections stay
 // saturated for the whole window (contention mode): combined with
 // -get-frac 1 the percentiles then measure pure readers while eviction
-// walks and relocation chains are in flight. A run with any protocol error
-// exits 2.
+// walks and relocation chains are in flight.
+//
+// Chaos mode:
+//
+//	zkvbench -chaos 'latency:d=1ms,jitter=3ms,p=0.05;reset:p=0.002' \
+//	    -chaos-seed 7 -oracle -op-timeout 2s -stall 2
+//
+// routes every connection through an in-process netchaos proxy injecting
+// the given fault spec (see internal/netchaos). The client stack must
+// absorb the faults: every transport error is classified (timeout, reset,
+// busy, protocol), clipped operations are retried, and -oracle verifies
+// every GET hit against its key-derived expected value. The final report
+// breaks errors down by class next to the latency percentiles. -stall N
+// additionally parks N silent connections on the server for the whole run
+// (the slow-loris scenario its deadlines must absorb).
 //
 // Equivalence replay:
 //
@@ -21,15 +34,19 @@
 // simulator's cache construction, asserting bit-identical eviction victim
 // sequences and hit/miss counts. A divergence exits 2.
 //
-// Exit codes: 0 success, 1 usage/config error, 2 benchmark errors or
-// equivalence divergence.
+// Exit codes: 0 success, 1 usage/config error, 2 benchmark failure:
+// equivalence divergence, any wrong (oracle-mismatched) GET, any
+// unclassified error, or — outside chaos mode, where faults are expected —
+// any error at all.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"zcache/internal/netchaos"
 	"zcache/internal/zkv"
 )
 
@@ -49,6 +66,12 @@ func run(args []string) int {
 		pipeline = fs.Int("pipeline", 16, "requests per flush (1 = no pipelining)")
 		seed     = fs.Uint64("seed", 1, "workload seed")
 		writers  = fs.Int("writers", 0, "background all-SET connections kept saturated for the whole run (contention mode)")
+
+		chaos     = fs.String("chaos", "", "netchaos fault spec; route all connections through an in-process fault proxy (e.g. 'latency:d=1ms,p=0.1;reset:p=0.01')")
+		chaosSeed = fs.Uint64("chaos-seed", 1, "fault schedule seed (chaos mode)")
+		oracle    = fs.Bool("oracle", false, "self-certifying values: verify every GET hit against its key-derived expected bytes")
+		opTimeout = fs.Duration("op-timeout", 0, "per-burst deadline (default 2s in chaos mode, none otherwise)")
+		stall     = fs.Int("stall", 0, "silent connections held open for the whole run (slow-loris pressure)")
 
 		equiv    = fs.String("equiv", "", "equivalence mode: workload preset to replay (e.g. canneal)")
 		ways     = fs.Int("ways", 4, "zcache ways (equiv mode)")
@@ -84,10 +107,38 @@ func run(args []string) int {
 		return 0
 	}
 
+	// Chaos mode: interpose the fault proxy between the clients and the
+	// server. Faults are then expected; correctness is judged on
+	// classification (no unclassified errors) and the oracle (no wrong
+	// GETs), not on the error count.
+	loadAddr := *addr
+	var proxy *netchaos.Proxy
+	if *chaos != "" {
+		spec, err := netchaos.ParseSpec(*chaos, *chaosSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zkvbench: -chaos: %v\n", err)
+			return 1
+		}
+		proxy = netchaos.New(*addr, spec)
+		if err := proxy.Start(""); err != nil {
+			fmt.Fprintf(os.Stderr, "zkvbench: chaos proxy: %v\n", err)
+			return 1
+		}
+		defer proxy.Close()
+		loadAddr = proxy.Addr()
+		if *opTimeout == 0 {
+			// Blackhole faults turn into hangs without a deadline; chaos
+			// runs get one by default.
+			*opTimeout = 2 * time.Second
+		}
+		fmt.Printf("chaos: proxying %s through %s with spec %q (seed %d)\n",
+			*addr, loadAddr, spec.String(), *chaosSeed)
+	}
+
 	rep, err := zkv.RunLoad(zkv.LoadConfig{
-		Addr: *addr, Clients: *clients, Ops: *ops, KeySpace: *keySpace,
+		Addr: loadAddr, Clients: *clients, Ops: *ops, KeySpace: *keySpace,
 		ValBytes: *valBytes, GetFrac: *getFrac, Pipeline: *pipeline, Seed: *seed,
-		Writers: *writers,
+		Writers: *writers, OpTimeout: *opTimeout, Oracle: *oracle, Stall: *stall,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "zkvbench: %v\n", err)
@@ -101,11 +152,31 @@ func run(args []string) int {
 		rep.Ops, rep.Wall.Round(1000000), rep.OpsPerSec, rep.Gets, rep.Sets, hitRate, rep.Errors)
 	fmt.Printf("latency: p50 %s  p99 %s  p999 %s  max %s\n",
 		rep.P50, rep.P99, rep.P999, rep.PMax)
+	classified := rep.Timeouts + rep.Resets + rep.Busys + rep.ProtoErrors
+	if classified+rep.Unclassified+rep.Retried+rep.Reconnects > 0 {
+		fmt.Printf("faults: %d timeouts, %d resets, %d busy, %d protocol, %d unclassified; %d ambiguous mutations, %d ops retried, %d reconnects\n",
+			rep.Timeouts, rep.Resets, rep.Busys, rep.ProtoErrors, rep.Unclassified,
+			rep.Ambiguous, rep.Retried, rep.Reconnects)
+	}
+	if *oracle {
+		fmt.Printf("oracle: %d GET hits verified, %d wrong\n", rep.VerifiedGets, rep.WrongGets)
+	}
 	if *writers > 0 {
 		fmt.Printf("contention: %d writers sustained %d sets (%.0f sets/s, %d errors) during the window\n",
 			*writers, rep.WriterSets, float64(rep.WriterSets)/rep.Wall.Seconds(), rep.WriterErrors)
 	}
-	if rep.Errors > 0 || rep.WriterErrors > 0 {
+	if proxy != nil {
+		fmt.Printf("chaos proxy: %s\n", proxy.Stats().Describe())
+	}
+
+	switch {
+	case rep.WrongGets > 0:
+		fmt.Fprintf(os.Stderr, "zkvbench: FAIL: %d wrong GETs (value oracle mismatch)\n", rep.WrongGets)
+		return 2
+	case rep.Unclassified > 0:
+		fmt.Fprintf(os.Stderr, "zkvbench: FAIL: %d unclassified transport errors\n", rep.Unclassified)
+		return 2
+	case *chaos == "" && (rep.Errors > 0 || rep.WriterErrors > 0):
 		return 2
 	}
 	return 0

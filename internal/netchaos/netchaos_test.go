@@ -1,0 +1,285 @@
+package netchaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// startEcho runs a TCP echo server and returns its address.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// startProxy parses spec, starts a proxy in front of upstream, and
+// registers cleanup.
+func startProxy(t *testing.T, upstream, spec string, seed uint64) *Proxy {
+	t.Helper()
+	s, err := ParseSpec(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(upstream, s)
+	if err := p.Start(""); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	p := startProxy(t, startEcho(t), "", 1)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := bytes.Repeat([]byte("zcache"), 1000)
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("proxy corrupted passthrough data")
+	}
+	st := p.Stats()
+	if st.Conns != 1 || st.BytesC2S == 0 || st.BytesS2C == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Resets+st.Drops+st.DelayedChunks+st.PartialChunks != 0 {
+		t.Fatalf("empty spec injected faults: %+v", st)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	p := startProxy(t, startEcho(t), "latency:d=40ms", 1)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("round trip %v, want >= 40ms of injected latency", d)
+	}
+	if p.Stats().DelayedChunks == 0 {
+		t.Fatal("no delayed chunks counted")
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	p := startProxy(t, startEcho(t), "reset:p=1", 1)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("doomed"))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read succeeded through a reset connection")
+	}
+	if got := p.Stats().Resets; got != 1 {
+		t.Fatalf("resets = %d, want 1", got)
+	}
+}
+
+func TestProxyDrop(t *testing.T) {
+	p := startProxy(t, startEcho(t), "drop:p=1", 1)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("into the void")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 16)
+	_, err = conn.Read(buf)
+	if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("blackholed read returned %v, want timeout", err)
+	}
+	if p.Stats().Drops == 0 {
+		t.Fatal("no drops counted")
+	}
+}
+
+func TestProxyPartialDeliversIntact(t *testing.T) {
+	p := startProxy(t, startEcho(t), "partial:p=1,max=3", 1)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("fragmented but whole")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+	if p.Stats().PartialChunks == 0 {
+		t.Fatal("no partial chunks counted")
+	}
+}
+
+func TestProxyBandwidthPaces(t *testing.T) {
+	p := startProxy(t, startEcho(t), "bandwidth:bps=100000", 1)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// 30 KB at 100 KB/s must take at least ~200ms round trip (each
+	// direction is paced independently; assert on the slack side).
+	msg := make([]byte, 30<<10)
+	start := time.Now()
+	go conn.Write(msg)
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 200*time.Millisecond {
+		t.Fatalf("30KB through a 100KB/s cap took %v, want >= 200ms", d)
+	}
+}
+
+// TestProxyDeterministicSchedule runs the same connection sequence against
+// two identically-seeded proxies and requires identical reset schedules,
+// then a different seed and requires the schedule to (very likely) differ.
+func TestProxyDeterministicSchedule(t *testing.T) {
+	echo := startEcho(t)
+	schedule := func(seed uint64) []bool {
+		s, err := ParseSpec("reset:p=0.5", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := New(echo, s)
+		if err := p.Start(""); err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		var out []bool
+		for i := 0; i < 16; i++ {
+			conn, err := net.Dial("tcp", p.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Write([]byte("probe"))
+			conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			buf := make([]byte, 5)
+			_, err = io.ReadFull(conn, buf)
+			out = append(out, err != nil) // true = this conn was reset
+			conn.Close()
+		}
+		return out
+	}
+	a, b, c := schedule(7), schedule(7), schedule(8)
+	if !equalBools(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	if equalBools(a, c) {
+		t.Fatalf("different seeds produced identical schedules: %v", a)
+	}
+	anyReset := false
+	for _, r := range a {
+		anyReset = anyReset || r
+	}
+	if !anyReset {
+		t.Fatal("p=0.5 over 16 connections fired no resets")
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"jumbo",               // unknown fault
+		"latency:d=abc",       // bad duration
+		"latency:p=NaN",       // NaN probability must not slip the clamp
+		"latency:p=0",         // zero probability
+		"latency:p=1.5",       // out of range
+		"reset:n=-1",          // negative count
+		"bandwidth",           // missing bps
+		"bandwidth:bps=0",     // zero bandwidth
+		"partial:max=0",       // zero fragment bound
+		"latency:zz=1",        // unknown key
+		"latency:d",           // bare key
+		"latency:d=-5ms",      // negative delay
+		"latency:jitter=-1ms", // negative jitter
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec, 1); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+	good := []string{
+		"",
+		" ; ",
+		"latency:d=2ms,jitter=5ms,p=0.1",
+		"reset:p=0.01;latency:d=1ms;bandwidth:bps=1048576",
+		"drop:p=0.001,n=1;partial:p=0.2,max=16",
+	}
+	for _, spec := range good {
+		s, err := ParseSpec(spec, 1)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", spec, err)
+			continue
+		}
+		// Round trip through String must reparse.
+		if _, err := ParseSpec(s.String(), 1); err != nil {
+			t.Errorf("ParseSpec(%q).String() = %q does not reparse: %v", spec, s.String(), err)
+		}
+	}
+}
+
+func TestMain(m *testing.M) { os.Exit(m.Run()) }

@@ -1,0 +1,204 @@
+package netchaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Fault is one class of network misbehavior the proxy can inject.
+type Fault int
+
+const (
+	// Latency delays a chunk by d plus a deterministic jitter in
+	// [0, jitter).
+	Latency Fault = iota
+	// Bandwidth caps a direction's forwarded bytes per second.
+	Bandwidth
+	// Drop blackholes a direction: bytes keep being read (so the sender
+	// never blocks) but are never forwarded. The connection stays open,
+	// which is what makes the peer's deadline handling observable.
+	Drop
+	// Reset closes both sides mid-stream with SO_LINGER 0, so the peer
+	// sees a TCP RST (or at best an abrupt EOF) in the middle of a burst.
+	Reset
+	// Partial forwards a chunk as several small writes with a short pause
+	// after the first fragment, exercising partial-read handling.
+	Partial
+)
+
+// String names the fault as the spec grammar spells it.
+func (f Fault) String() string {
+	switch f {
+	case Latency:
+		return "latency"
+	case Bandwidth:
+		return "bandwidth"
+	case Drop:
+		return "drop"
+	case Reset:
+		return "reset"
+	case Partial:
+		return "partial"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// faultCfg is one parsed spec term.
+type faultCfg struct {
+	kind   Fault
+	prob   float64       // p= per-chunk firing probability (default 1)
+	times  int           // n= max fires per connection direction (0 = unlimited)
+	delay  time.Duration // d= latency base
+	jitter time.Duration // jitter= latency jitter bound
+	bps    int           // bps= bandwidth cap
+	max    int           // max= partial first-fragment bound (default 8)
+}
+
+// Spec is a parsed fault specification. The grammar is the
+// internal/failpoint spec grammar with the fault name standing in for
+// name=mode — semicolon-separated terms:
+//
+//	fault[:key=value[,key=value...]]
+//
+// with faults latency | bandwidth | drop | reset | partial and keys
+// p (probability, float in (0,1]), n (max fires per connection direction,
+// int), d (latency, Go duration), jitter (latency jitter bound, Go
+// duration), bps (bandwidth cap in bytes/second, int), and max (partial
+// first-fragment size bound, int). Examples:
+//
+//	latency:d=2ms,jitter=5ms,p=0.1
+//	reset:p=0.01;latency:d=1ms;bandwidth:bps=1048576
+//
+// Like failpoint.Configure, parsing is atomic: a spec with any invalid
+// term configures nothing.
+type Spec struct {
+	faults []faultCfg
+	seed   uint64
+}
+
+// ParseSpec parses spec, folding seed into every per-connection fault
+// schedule. An empty spec is valid and injects nothing.
+func ParseSpec(spec string, seed uint64) (*Spec, error) {
+	s := &Spec{seed: seed}
+	for _, term := range strings.Split(spec, ";") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		name, args, _ := strings.Cut(term, ":")
+		cfg := faultCfg{prob: 1, max: 8}
+		switch name {
+		case "latency":
+			cfg.kind = Latency
+		case "bandwidth":
+			cfg.kind = Bandwidth
+		case "drop":
+			cfg.kind = Drop
+		case "reset":
+			cfg.kind = Reset
+		case "partial":
+			cfg.kind = Partial
+		default:
+			return nil, fmt.Errorf("netchaos: unknown fault %q in %q", name, term)
+		}
+		if args != "" {
+			for _, kv := range strings.Split(args, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("netchaos: bad arg %q in %q", kv, term)
+				}
+				switch k {
+				case "p":
+					f, err := strconv.ParseFloat(v, 64)
+					if err != nil {
+						return nil, fmt.Errorf("netchaos: bad probability %q: %v", v, err)
+					}
+					// Positive-range spelling so NaN cannot slip through
+					// (same trap failpoint.Configure guards against).
+					if !(f > 0 && f <= 1) {
+						return nil, fmt.Errorf("netchaos: probability %q outside (0, 1]", v)
+					}
+					cfg.prob = f
+				case "n":
+					i, err := strconv.Atoi(v)
+					if err != nil || i < 0 {
+						return nil, fmt.Errorf("netchaos: bad count %q (omit n for unlimited)", v)
+					}
+					cfg.times = i
+				case "d":
+					d, err := time.ParseDuration(v)
+					if err != nil || d < 0 {
+						return nil, fmt.Errorf("netchaos: bad delay %q", v)
+					}
+					cfg.delay = d
+				case "jitter":
+					d, err := time.ParseDuration(v)
+					if err != nil || d < 0 {
+						return nil, fmt.Errorf("netchaos: bad jitter %q", v)
+					}
+					cfg.jitter = d
+				case "bps":
+					i, err := strconv.Atoi(v)
+					if err != nil || i < 1 {
+						return nil, fmt.Errorf("netchaos: bad bandwidth %q (bytes/second, at least 1)", v)
+					}
+					cfg.bps = i
+				case "max":
+					i, err := strconv.Atoi(v)
+					if err != nil || i < 1 {
+						return nil, fmt.Errorf("netchaos: bad fragment bound %q (at least 1)", v)
+					}
+					cfg.max = i
+				default:
+					return nil, fmt.Errorf("netchaos: unknown arg %q in %q", k, term)
+				}
+			}
+		}
+		if cfg.kind == Bandwidth && cfg.bps == 0 {
+			return nil, fmt.Errorf("netchaos: bandwidth needs bps= in %q", term)
+		}
+		s.faults = append(s.faults, cfg)
+	}
+	return s, nil
+}
+
+// String renders the spec back in grammar form (for logs).
+func (s *Spec) String() string {
+	var b strings.Builder
+	for i, f := range s.faults {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(f.kind.String())
+		sep := byte(':')
+		arg := func(k, v string) {
+			b.WriteByte(sep)
+			sep = ','
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(v)
+		}
+		if f.prob != 1 {
+			arg("p", strconv.FormatFloat(f.prob, 'g', -1, 64))
+		}
+		if f.times != 0 {
+			arg("n", strconv.Itoa(f.times))
+		}
+		if f.delay != 0 {
+			arg("d", f.delay.String())
+		}
+		if f.jitter != 0 {
+			arg("jitter", f.jitter.String())
+		}
+		if f.bps != 0 {
+			arg("bps", strconv.Itoa(f.bps))
+		}
+		if f.kind == Partial && f.max != 8 {
+			arg("max", strconv.Itoa(f.max))
+		}
+	}
+	return b.String()
+}

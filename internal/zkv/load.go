@@ -1,8 +1,10 @@
 package zkv
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"net"
 	"slices"
 	"sync"
 	"time"
@@ -12,7 +14,7 @@ import (
 )
 
 // LoadConfig drives RunLoad, the zkvbench load generator, against a running
-// zcached server.
+// zcached server (or a netchaos proxy in front of one).
 type LoadConfig struct {
 	// Addr is the server address (required).
 	Addr string
@@ -30,7 +32,8 @@ type LoadConfig struct {
 	// Pipeline is the number of requests queued per flush (default 16;
 	// 1 means strict request/response).
 	Pipeline int
-	// Seed makes the key sequence reproducible.
+	// Seed makes the key sequence (and the retry backoff jitter)
+	// reproducible.
 	Seed uint64
 	// Writers is the number of dedicated all-SET connections kept
 	// saturated for the duration of the run (default 0). They model
@@ -39,6 +42,21 @@ type LoadConfig struct {
 	// operations are reported separately and excluded from Ops and the
 	// latency percentiles.
 	Writers int
+	// OpTimeout bounds each pipelined burst round trip (queue, flush,
+	// replies). 0 means no deadline — only safe against a healthy
+	// network; any blackhole-style fault needs a timeout to convert a
+	// hang into a classified, retryable error.
+	OpTimeout time.Duration
+	// Oracle makes every SET value self-certifying — derived from its key
+	// alone — and verifies every GET hit against the expected bytes.
+	// A mismatch is counted in WrongGets; zkvbench exits nonzero on any.
+	// Self-certifying values also make SET retries harmless, so the
+	// harness re-issues ambiguous mutations instead of abandoning them.
+	Oracle bool
+	// Stall opens this many extra connections that never send a request
+	// and never read, held open for the whole run — the stalled-reader
+	// scenario the server's deadlines must absorb.
+	Stall int
 }
 
 func (c LoadConfig) withDefaults() (LoadConfig, error) {
@@ -66,7 +84,8 @@ func (c LoadConfig) withDefaults() (LoadConfig, error) {
 	if c.Pipeline == 0 {
 		c.Pipeline = 16
 	}
-	if c.Clients < 0 || c.Ops < 0 || c.KeySpace < 1 || c.ValBytes < 0 || c.Pipeline < 1 || c.Writers < 0 {
+	if c.Clients < 0 || c.Ops < 0 || c.KeySpace < 1 || c.ValBytes < 0 ||
+		c.Pipeline < 1 || c.Writers < 0 || c.OpTimeout < 0 || c.Stall < 0 {
 		return c, fmt.Errorf("zkv: invalid load config %+v", c)
 	}
 	return c, nil
@@ -89,6 +108,22 @@ type LoadReport struct {
 	// tail, exactly as a caller would experience it. Zero when no ops ran.
 	P50, P99, P999, PMax time.Duration
 
+	// Failure accounting by class. Timeouts/Resets/ProtoErrors/
+	// Unclassified count transport failure events (one burst-killing
+	// reset is one reset, however many ops it clipped); Busys counts
+	// StatusBusy shed replies; Ambiguous counts mutations clipped
+	// mid-pipeline (surfaced per the ErrAmbiguous contract, then
+	// re-issued — self-certifying values make the re-issue harmless);
+	// Retried counts ops re-queued for another attempt; Reconnects counts
+	// successful re-dials.
+	Timeouts, Resets, Busys, ProtoErrors, Unclassified int
+	Ambiguous, Retried, Reconnects                     int
+
+	// Oracle accounting: GET hits whose value matched the key-derived
+	// pattern, and those that did not. Any WrongGets is a correctness
+	// failure of the serving path.
+	VerifiedGets, WrongGets int
+
 	// WriterSets and WriterErrors aggregate the background writer
 	// connections (LoadConfig.Writers); they are excluded from Ops and
 	// the percentiles above.
@@ -105,27 +140,88 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
+// oracleFill writes the self-certifying value for key: every byte is a
+// pure function of the key, so any GET can be verified with no shared
+// state — by this process, another client, or a later run with the same
+// value size.
+func oracleFill(buf []byte, key uint64) {
+	x := hash.Mix64(key ^ 0x5ca1ab1e0ddba11)
+	for i := range buf {
+		x = x*6364136223846793005 + 1442695040888963407
+		buf[i] = byte(x >> 56)
+	}
+}
+
+// opRec is one generated operation: what to do and to which key. Retries
+// re-issue the identical record, so the workload's key sequence stays
+// deterministic under faults.
+type opRec struct {
+	get bool
+	key uint64
+}
+
+// maxConsecutiveRedials bounds how long a client hammers a dead server
+// before giving up and failing the run.
+const maxConsecutiveRedials = 30
+
+// classCounts is the per-client failure tally merged into the LoadReport.
+type classCounts struct {
+	timeouts, resets, busys, protoErrs, unclassified int
+	ambiguous, retried, reconnects                   int
+}
+
+// countEvent tallies one transport failure event by class.
+func (cc *classCounts) countEvent(class zkvproto.Class) {
+	switch class {
+	case zkvproto.ClassTimeout:
+		cc.timeouts++
+	case zkvproto.ClassReset:
+		cc.resets++
+	case zkvproto.ClassProtocol:
+		cc.protoErrs++
+	default:
+		cc.unclassified++
+	}
+}
+
 // RunLoad opens cfg.Clients pipelined connections and drives cfg.Ops mixed
-// GET/SET operations, returning aggregate throughput. Each client draws keys
-// from a seeded xorshift stream, so runs are reproducible op-for-op.
+// GET/SET operations, returning aggregate throughput, latency percentiles,
+// and a per-class failure breakdown. Each client draws keys from a seeded
+// xorshift stream, so runs are reproducible op-for-op; faults (timeouts,
+// resets, StatusBusy sheds) are classified, counted, and retried — GETs
+// transparently, mutations via the ambiguous-then-reissue path — rather
+// than failing the run. RunLoad returns an error only for setup failures
+// or a client that lost its server entirely.
 func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return LoadReport{}, err
 	}
-	type result struct {
-		gets, sets, hits, misses, errs int
-		lats                           []time.Duration
-		err                            error
+
+	// Stalled readers: connect, then do nothing for the whole run. The
+	// server's idle/drain deadlines are what get them off the books.
+	stalled := make([]net.Conn, 0, cfg.Stall)
+	for i := 0; i < cfg.Stall; i++ {
+		conn, err := net.DialTimeout("tcp", cfg.Addr, 5*time.Second)
+		if err != nil {
+			return LoadReport{}, fmt.Errorf("zkv: stall conn %d: %w", i, err)
+		}
+		stalled = append(stalled, conn)
 	}
-	results := make([]result, cfg.Clients)
+	defer func() {
+		for _, c := range stalled {
+			c.Close()
+		}
+	}()
+
+	results := make([]clientResult, cfg.Clients)
 
 	// Background writers: all-SET connections that run until the measured
 	// clients finish, keeping eviction walks and relocation chains in
 	// flight for the whole measurement window.
 	type wresult struct {
-		sets, errs int
-		err        error
+		sets, errs, reconnects int
+		err                    error
 	}
 	wresults := make([]wresult, cfg.Writers)
 	stopWriters := make(chan struct{})
@@ -135,49 +231,85 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		go func(wi int) {
 			defer wwg.Done()
 			res := &wresults[wi]
-			cl, err := zkvproto.Dial(cfg.Addr)
+			// A distinct salt keeps writer key streams decorrelated
+			// from the measured clients'.
+			rng := hash.Mix64(cfg.Seed ^ 0xa5a5a5a55a5a5a5a ^ (uint64(wi)+1)*0x9e3779b97f4a7c15)
+			cl, err := zkvproto.DialOptions(cfg.Addr, zkvproto.Options{Seed: rng})
 			if err != nil {
 				res.err = err
 				return
 			}
 			defer cl.Close()
-			// A distinct salt keeps writer key streams decorrelated
-			// from the measured clients'.
-			rng := hash.Mix64(cfg.Seed ^ 0xa5a5a5a55a5a5a5a ^ (uint64(wi)+1)*0x9e3779b97f4a7c15)
 			key := make([]byte, 8)
 			val := make([]byte, cfg.ValBytes)
+			redials := 0
 			for {
 				select {
 				case <-stopWriters:
 					return
 				default:
 				}
-				for b := 0; b < cfg.Pipeline; b++ {
-					rng ^= rng >> 12
-					rng ^= rng << 25
-					rng ^= rng >> 27
-					draw := rng * 0x2545f4914f6cdd1d
-					binary.BigEndian.PutUint64(key, draw%uint64(cfg.KeySpace))
-					if err := cl.QueueSet(key, val); err != nil {
-						res.err = err
+				if cfg.OpTimeout > 0 {
+					cl.SetDeadline(time.Now().Add(cfg.OpTimeout))
+				}
+				burstErr := func() error {
+					for b := 0; b < cfg.Pipeline; b++ {
+						rng ^= rng >> 12
+						rng ^= rng << 25
+						rng ^= rng >> 27
+						draw := rng * 0x2545f4914f6cdd1d
+						k := draw % uint64(cfg.KeySpace)
+						binary.BigEndian.PutUint64(key, k)
+						if cfg.Oracle {
+							oracleFill(val, k)
+						}
+						if err := cl.QueueSet(key, val); err != nil {
+							return err
+						}
+					}
+					if err := cl.Flush(); err != nil {
+						return err
+					}
+					for b := 0; b < cfg.Pipeline; b++ {
+						resp, err := cl.ReadReply()
+						if err != nil {
+							return err
+						}
+						switch resp.Status {
+						case zkvproto.StatusOK:
+							res.sets++
+						case zkvproto.StatusBusy:
+							// Shed, not executed; the writer pool is
+							// unmetered pressure, so just move on.
+						default:
+							res.errs++
+						}
+					}
+					return nil
+				}()
+				if burstErr == nil {
+					redials = 0
+					continue
+				}
+				// Writer connections exist to apply pressure; any failure
+				// is answered by reconnecting and pressing on.
+				for {
+					select {
+					case <-stopWriters:
+						return
+					default:
+					}
+					if err := cl.Reconnect(); err == nil {
+						res.reconnects++
+						redials = 0
+						break
+					}
+					redials++
+					if redials >= maxConsecutiveRedials {
+						res.err = burstErr
 						return
 					}
-				}
-				if err := cl.Flush(); err != nil {
-					res.err = err
-					return
-				}
-				for b := 0; b < cfg.Pipeline; b++ {
-					resp, err := cl.ReadReply()
-					if err != nil {
-						res.err = err
-						return
-					}
-					if resp.Status == zkvproto.StatusOK {
-						res.sets++
-					} else {
-						res.errs++
-					}
+					time.Sleep(backoff(rng, uint64(redials)))
 				}
 			}
 		}(wi)
@@ -189,79 +321,7 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			res := &results[ci]
-			cl, err := zkvproto.Dial(cfg.Addr)
-			if err != nil {
-				res.err = err
-				return
-			}
-			defer cl.Close()
-
-			ops := cfg.Ops / cfg.Clients
-			if ci < cfg.Ops%cfg.Clients {
-				ops++
-			}
-			// GetFrac as a threshold over the low 16 bits of the op's
-			// random draw: deterministic, no float per op.
-			getCut := uint64(cfg.GetFrac * 65536)
-			rng := hash.Mix64(cfg.Seed ^ (uint64(ci)+1)*0x9e3779b97f4a7c15)
-			key := make([]byte, 8)
-			val := make([]byte, cfg.ValBytes)
-			kinds := make([]bool, 0, cfg.Pipeline) // true = GET
-			queued := make([]time.Time, 0, cfg.Pipeline)
-			res.lats = make([]time.Duration, 0, ops)
-			sent := 0
-			for sent < ops {
-				kinds = kinds[:0]
-				queued = queued[:0]
-				for len(kinds) < cfg.Pipeline && sent+len(kinds) < ops {
-					// xorshift64*
-					rng ^= rng >> 12
-					rng ^= rng << 25
-					rng ^= rng >> 27
-					draw := rng * 0x2545f4914f6cdd1d
-					binary.BigEndian.PutUint64(key, draw%uint64(cfg.KeySpace))
-					queued = append(queued, time.Now())
-					if draw>>48&0xffff < getCut {
-						if err := cl.QueueGet(key); err != nil {
-							res.err = err
-							return
-						}
-						kinds = append(kinds, true)
-					} else {
-						if err := cl.QueueSet(key, val); err != nil {
-							res.err = err
-							return
-						}
-						kinds = append(kinds, false)
-					}
-				}
-				if err := cl.Flush(); err != nil {
-					res.err = err
-					return
-				}
-				for bi, isGet := range kinds {
-					resp, err := cl.ReadReply()
-					if err != nil {
-						res.err = err
-						return
-					}
-					res.lats = append(res.lats, time.Since(queued[bi]))
-					switch {
-					case isGet && resp.Status == zkvproto.StatusOK:
-						res.gets++
-						res.hits++
-					case isGet && resp.Status == zkvproto.StatusNotFound:
-						res.gets++
-						res.misses++
-					case !isGet && resp.Status == zkvproto.StatusOK:
-						res.sets++
-					default:
-						res.errs++
-					}
-				}
-				sent += len(kinds)
-			}
+			results[ci] = runClient(cfg, ci)
 		}(ci)
 	}
 	wg.Wait()
@@ -277,6 +337,7 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		}
 		rep.WriterSets += r.sets
 		rep.WriterErrors += r.errs
+		rep.Reconnects += r.reconnects
 	}
 	var lats []time.Duration
 	for i := range results {
@@ -289,6 +350,16 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		rep.Hits += r.hits
 		rep.Misses += r.misses
 		rep.Errors += r.errs
+		rep.VerifiedGets += r.verified
+		rep.WrongGets += r.wrong
+		rep.Timeouts += r.cc.timeouts
+		rep.Resets += r.cc.resets
+		rep.Busys += r.cc.busys
+		rep.ProtoErrors += r.cc.protoErrs
+		rep.Unclassified += r.cc.unclassified
+		rep.Ambiguous += r.cc.ambiguous
+		rep.Retried += r.cc.retried
+		rep.Reconnects += r.cc.reconnects
 		lats = append(lats, r.lats...)
 	}
 	rep.Ops = rep.Gets + rep.Sets
@@ -303,4 +374,190 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		rep.PMax = lats[len(lats)-1]
 	}
 	return rep, nil
+}
+
+// backoff is the jittered exponential pause before redial attempt n,
+// deterministic in (rng seed, n).
+func backoff(seed, n uint64) time.Duration {
+	d := 2 * time.Millisecond << min(n, 8)
+	if d > 300*time.Millisecond {
+		d = 300 * time.Millisecond
+	}
+	draw := hash.Mix64(seed ^ (n+1)*0x9e3779b97f4a7c15)
+	frac := float64(draw>>11) / float64(uint64(1)<<53)
+	return time.Duration((0.5 + frac) * float64(d))
+}
+
+// clientResult is one measured connection's tally.
+type clientResult struct {
+	gets, sets, hits, misses, errs int
+	verified, wrong                int
+	cc                             classCounts
+	lats                           []time.Duration
+	err                            error
+}
+
+// runClient is one measured connection's whole life: generate ops, drive
+// pipelined bursts, classify and absorb faults, retry clipped ops, verify
+// oracle values.
+func runClient(cfg LoadConfig, ci int) (res clientResult) {
+	rng := hash.Mix64(cfg.Seed ^ (uint64(ci)+1)*0x9e3779b97f4a7c15)
+	jitterSeed := rng
+	cl, err := zkvproto.DialOptions(cfg.Addr, zkvproto.Options{Seed: jitterSeed})
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer cl.Close()
+
+	ops := cfg.Ops / cfg.Clients
+	if ci < cfg.Ops%cfg.Clients {
+		ops++
+	}
+	// GetFrac as a threshold over the low 16 bits of the op's random
+	// draw: deterministic, no float per op.
+	getCut := uint64(cfg.GetFrac * 65536)
+	key := make([]byte, 8)
+	val := make([]byte, cfg.ValBytes)
+	expect := make([]byte, cfg.ValBytes)
+	burst := make([]opRec, 0, cfg.Pipeline)
+	queued := make([]time.Time, 0, cfg.Pipeline)
+	var backlog []opRec // clipped/shed ops awaiting re-issue
+	res.lats = make([]time.Duration, 0, ops)
+	generated, completed, redials := 0, 0, 0
+	consecFails := 0 // bursts failed in a row; paces the redial storm
+
+	// fail re-queues every op in the burst from index i on (replies
+	// [0,i) were already terminal) and reconnects with seeded backoff.
+	fail := func(i int, err error) bool {
+		res.cc.countEvent(zkvproto.Classify(err))
+		for _, op := range burst[i:] {
+			if !op.get {
+				// The mutation may or may not have executed: the
+				// ambiguity contract. Self-certifying (or constant)
+				// values make the re-issue below harmless.
+				res.cc.ambiguous++
+			}
+			res.cc.retried++
+			backlog = append(backlog, op)
+		}
+		// Back off before re-dialing when failures are consecutive:
+		// without this, a shed-then-close from an exhausted server pool
+		// turns into a reconnect hammer that keeps the pool exhausted.
+		consecFails++
+		if consecFails > 1 {
+			time.Sleep(backoff(jitterSeed^0xf00d, uint64(consecFails-1)))
+		}
+		for {
+			if err := cl.Reconnect(); err == nil {
+				res.cc.reconnects++
+				redials = 0
+				return true
+			}
+			redials++
+			if redials >= maxConsecutiveRedials {
+				res.err = fmt.Errorf("server unreachable after %d redials: %w", redials, err)
+				return false
+			}
+			time.Sleep(backoff(jitterSeed, uint64(redials)))
+		}
+	}
+
+	for completed < ops {
+		// Assemble the next burst: clipped ops first, fresh ops after.
+		burst = burst[:0]
+		queued = queued[:0]
+		for len(burst) < cfg.Pipeline && len(backlog) > 0 {
+			burst = append(burst, backlog[len(backlog)-1])
+			backlog = backlog[:len(backlog)-1]
+		}
+		for len(burst) < cfg.Pipeline && generated < ops {
+			// xorshift64*
+			rng ^= rng >> 12
+			rng ^= rng << 25
+			rng ^= rng >> 27
+			draw := rng * 0x2545f4914f6cdd1d
+			burst = append(burst, opRec{get: draw>>48&0xffff < getCut, key: draw % uint64(cfg.KeySpace)})
+			generated++
+		}
+
+		if cfg.OpTimeout > 0 {
+			cl.SetDeadline(time.Now().Add(cfg.OpTimeout))
+		}
+		queueFailed := false
+		for _, op := range burst {
+			binary.BigEndian.PutUint64(key, op.key)
+			queued = append(queued, time.Now())
+			var qerr error
+			if op.get {
+				qerr = cl.QueueGet(key)
+			} else {
+				if cfg.Oracle {
+					oracleFill(val, op.key)
+				}
+				qerr = cl.QueueSet(key, val)
+			}
+			if qerr != nil {
+				if !fail(0, qerr) {
+					return res
+				}
+				queueFailed = true
+				break
+			}
+		}
+		if queueFailed {
+			continue
+		}
+		if err := cl.Flush(); err != nil {
+			if !fail(0, err) {
+				return res
+			}
+			continue
+		}
+		readFailed := false
+		for bi, op := range burst {
+			resp, err := cl.ReadReply()
+			if err != nil {
+				if !fail(bi, err) {
+					return res
+				}
+				readFailed = true
+				break
+			}
+			if resp.Status == zkvproto.StatusBusy {
+				// Shed, not executed: retry is safe for any op.
+				res.cc.busys++
+				res.cc.retried++
+				backlog = append(backlog, op)
+				continue
+			}
+			res.lats = append(res.lats, time.Since(queued[bi]))
+			completed++
+			switch {
+			case op.get && resp.Status == zkvproto.StatusOK:
+				res.gets++
+				res.hits++
+				if cfg.Oracle {
+					oracleFill(expect, op.key)
+					if bytes.Equal(resp.Val, expect) {
+						res.verified++
+					} else {
+						res.wrong++
+					}
+				}
+			case op.get && resp.Status == zkvproto.StatusNotFound:
+				res.gets++
+				res.misses++
+			case !op.get && resp.Status == zkvproto.StatusOK:
+				res.sets++
+			default:
+				res.errs++
+			}
+		}
+		if readFailed {
+			continue
+		}
+		consecFails = 0
+	}
+	return res
 }

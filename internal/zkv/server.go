@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -21,12 +22,34 @@ type ServerConfig struct {
 	// "127.0.0.1:7171").
 	Addr string
 	// MaxConns bounds concurrently served connections (default
-	// 4*GOMAXPROCS). The accept loop blocks — rather than drops — when the
-	// pool is full, so clients queue instead of erroring.
+	// 4*GOMAXPROCS). When the pool is exhausted the accept loop sheds:
+	// the over-limit connection receives one StatusBusy frame and is
+	// closed immediately — it never stalls the accept loop and never
+	// waits silently.
 	MaxConns int
 	// DrainTimeout is how long Shutdown lets connections finish buffered
-	// and in-flight requests before they are closed (default 5s).
+	// and in-flight requests before they are force-closed (default 5s).
 	DrainTimeout time.Duration
+	// IdleTimeout force-closes a connection that starts no new request
+	// for this long (default 5m; negative disables). An idle slot is a
+	// pool slot a paying client cannot have.
+	IdleTimeout time.Duration
+	// ReadTimeout bounds how long a request frame may take to arrive
+	// once its first byte is in (default 10s; negative disables). This is
+	// the slow-loris guard: a reader trickling header bytes is
+	// force-closed, not waited on.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write/flush (default 10s;
+	// negative disables). A client that stops reading its replies stalls
+	// the server's writes; past the deadline the connection is
+	// force-closed.
+	WriteTimeout time.Duration
+	// MaxPipeline bounds the requests executed per pipelined burst — a
+	// burst being the frames decoded between wire flushes (default 1024;
+	// negative disables). Requests beyond the bound are answered
+	// StatusBusy without touching the store; the shed contract
+	// guarantees they were not executed, so clients retry them safely.
+	MaxPipeline int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -39,19 +62,53 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	switch {
+	case c.IdleTimeout == 0:
+		c.IdleTimeout = 5 * time.Minute
+	case c.IdleTimeout < 0:
+		c.IdleTimeout = 0
+	}
+	switch {
+	case c.ReadTimeout == 0:
+		c.ReadTimeout = 10 * time.Second
+	case c.ReadTimeout < 0:
+		c.ReadTimeout = 0
+	}
+	switch {
+	case c.WriteTimeout == 0:
+		c.WriteTimeout = 10 * time.Second
+	case c.WriteTimeout < 0:
+		c.WriteTimeout = 0
+	}
+	switch {
+	case c.MaxPipeline == 0:
+		c.MaxPipeline = 1024
+	case c.MaxPipeline < 0:
+		c.MaxPipeline = 0
+	}
 	return c
 }
 
 // Server serves the zkvproto protocol over TCP against one Store. Requests
 // on a connection are answered strictly in order; responses are flushed when
 // the connection's read buffer drains, so pipelined bursts get one flush.
+//
+// The serving path is defensive end to end: slow or stalled peers are
+// force-closed by per-connection deadlines, pool and pipeline exhaustion
+// shed with an explicit StatusBusy contract, and graceful drain always
+// completes within its deadline even with silent clients attached.
 type Server struct {
 	store *Store
 	cfg   ServerConfig
 
 	sem        chan struct{} // bounded worker pool: one slot per live conn
 	inShutdown atomic.Bool
-	wg         sync.WaitGroup
+	started    atomic.Bool
+	// drainDeadline (unix nanos; 0 = not draining) clamps every
+	// per-connection deadline once Shutdown begins, so no idle or
+	// in-progress read can outlive the drain window.
+	drainDeadline atomic.Int64
+	wg            sync.WaitGroup
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -60,6 +117,13 @@ type Server struct {
 	connsTotal    atomic.Uint64
 	requestsTotal atomic.Uint64
 	protoErrors   atomic.Uint64
+
+	shedConns    atomic.Uint64 // connections refused with StatusBusy (pool full)
+	shedRequests atomic.Uint64 // requests answered StatusBusy (pipeline depth)
+	idleCloses   atomic.Uint64 // conns closed by IdleTimeout
+	readCloses   atomic.Uint64 // conns closed mid-frame by ReadTimeout (slow loris)
+	writeCloses  atomic.Uint64 // conns closed by WriteTimeout (stalled reader)
+	drainCloses  atomic.Uint64 // conns force-closed at the drain deadline
 }
 
 // NewServer wraps store in a protocol server.
@@ -84,6 +148,13 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
+// Ready reports whether the server is accepting and serving traffic: true
+// between Serve's start and Shutdown's begin. cmd/zcached's -metrics
+// /ready endpoint exposes it for load balancers.
+func (s *Server) Ready() bool {
+	return s.started.Load() && !s.inShutdown.Load()
+}
+
 // ErrServerClosed is returned by Serve after a graceful Shutdown.
 var ErrServerClosed = errors.New("zkv: server closed")
 
@@ -98,7 +169,9 @@ func (s *Server) ListenAndServe() error {
 }
 
 // Serve accepts connections on ln until Shutdown. Each connection is served
-// by one goroutine from the bounded pool.
+// by one goroutine from the bounded pool; when the pool is full, new
+// connections are shed with a StatusBusy frame instead of queueing, so the
+// accept loop never stalls behind a full house.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.inShutdown.Load() {
@@ -108,16 +181,25 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	s.started.Store(true)
 
 	for {
-		s.sem <- struct{}{} // reserve a pool slot before accepting
 		conn, err := ln.Accept()
 		if err != nil {
-			<-s.sem
 			if s.inShutdown.Load() {
 				return ErrServerClosed
 			}
 			return err
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// Pool exhausted: fail fast. The peer gets one StatusBusy
+			// frame (best effort, bounded by a short write deadline) and
+			// an immediate close — the explicit shed contract.
+			s.shedConns.Add(1)
+			go shedConn(conn)
+			continue
 		}
 		s.mu.Lock()
 		if s.inShutdown.Load() {
@@ -144,21 +226,35 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// shedConn tells an over-limit peer it was shed, then hangs up.
+func shedConn(conn net.Conn) {
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	bw := bufio.NewWriterSize(conn, 64)
+	resp := zkvproto.Response{Status: zkvproto.StatusBusy, Val: []byte("connection pool exhausted")}
+	if resp.WriteTo(bw) == nil {
+		bw.Flush()
+	}
+	conn.Close()
+}
+
 // Shutdown stops accepting, then lets live connections drain buffered and
-// in-flight requests for up to DrainTimeout before closing them. It returns
-// nil once every connection has finished, or ctx.Err() if ctx expires first
-// (connections are then closed immediately).
+// in-flight requests for up to DrainTimeout before they are force-closed
+// (counted in zkv_drain_force_closes_total). It returns nil once every
+// connection has finished, or ctx.Err() if ctx expires first (connections
+// are then closed immediately).
 func (s *Server) Shutdown(ctx context.Context) error {
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	s.drainDeadline.Store(deadline.UnixNano())
 	s.inShutdown.Store(true)
 	s.mu.Lock()
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	deadline := time.Now().Add(s.cfg.DrainTimeout)
 	for conn := range s.conns {
 		// Unblock handlers parked in a read: already-buffered pipelined
 		// frames still get decoded and answered; only waiting for *new*
-		// bytes times out.
+		// bytes times out. serveConn clamps any deadline it sets after
+		// this point to the same drain deadline.
 		conn.SetReadDeadline(deadline)
 	}
 	s.mu.Unlock()
@@ -182,19 +278,79 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// clampDrain caps t at the drain deadline once Shutdown has begun. A zero
+// t means "no deadline" and clamps to the drain deadline alone.
+func (s *Server) clampDrain(t time.Time) time.Time {
+	if dd := s.drainDeadline.Load(); dd != 0 {
+		if d := time.Unix(0, dd); t.IsZero() || d.Before(t) {
+			return d
+		}
+	}
+	return t
+}
+
+// isTimeout reports whether a conn error is a deadline expiry.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // serveConn runs one connection's request loop. All per-request state is
 // reused across iterations, so the steady-state loop does not allocate.
+//
+// Deadline discipline: while waiting for a burst's first byte the idle
+// timeout applies; once bytes are flowing, each frame must complete within
+// ReadTimeout and each response write within WriteTimeout. Every deadline
+// is clamped to the drain deadline during shutdown, so a silent or stalled
+// peer can never hold the drain hostage.
 func (s *Server) serveConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	var (
-		req  zkvproto.Request
-		resp zkvproto.Response
-		dst  []byte
+		req   zkvproto.Request
+		resp  zkvproto.Response
+		dst   []byte
+		depth int // requests executed in the current burst
 	)
 	for {
+		if br.Buffered() == 0 {
+			// Between bursts: wait for the next request under the idle
+			// timeout. This also clears any stale per-frame ReadTimeout
+			// deadline left armed by the previous burst.
+			var idle time.Time
+			if s.cfg.IdleTimeout > 0 {
+				idle = time.Now().Add(s.cfg.IdleTimeout)
+			}
+			conn.SetReadDeadline(s.clampDrain(idle))
+			if _, err := br.Peek(1); err != nil {
+				if isTimeout(err) {
+					if s.inShutdown.Load() {
+						s.drainCloses.Add(1)
+					} else {
+						s.idleCloses.Add(1)
+					}
+				}
+				return
+			}
+		}
+		if s.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(s.clampDrain(time.Now().Add(s.cfg.ReadTimeout)))
+		}
 		err := req.ReadFrom(br)
 		if err != nil {
+			if isTimeout(err) {
+				// A frame started arriving and never finished: slow loris
+				// (or the drain deadline caught a mid-frame straggler).
+				if s.inShutdown.Load() {
+					s.drainCloses.Add(1)
+				} else {
+					s.readCloses.Add(1)
+				}
+				return
+			}
 			if perr := protoError(err); perr != "" {
 				// Tell the peer why before hanging up.
 				s.protoErrors.Add(1)
@@ -207,49 +363,70 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		s.requestsTotal.Add(1)
+		depth++
 
-		switch req.Op {
-		case zkvproto.OpGet:
-			var ok bool
-			dst, ok = s.store.Get(req.Key, dst[:0])
-			if ok {
+		if s.cfg.MaxPipeline > 0 && depth > s.cfg.MaxPipeline {
+			// Pipeline depth exhausted: shed without executing. The
+			// client may retry the request — it never touched the store.
+			s.shedRequests.Add(1)
+			resp.Status = zkvproto.StatusBusy
+			resp.Val = append(resp.Val[:0], "pipeline depth exceeded"...)
+		} else {
+			switch req.Op {
+			case zkvproto.OpGet:
+				var ok bool
+				dst, ok = s.store.Get(req.Key, dst[:0])
+				if ok {
+					resp.Status = zkvproto.StatusOK
+					resp.Val = dst
+				} else {
+					resp.Status = zkvproto.StatusNotFound
+					resp.Val = resp.Val[:0]
+				}
+			case zkvproto.OpSet:
+				if err := s.store.Set(req.Key, req.Val); err != nil {
+					resp.Status = zkvproto.StatusErr
+					resp.Val = append(resp.Val[:0], err.Error()...)
+				} else {
+					resp.Status = zkvproto.StatusOK
+					resp.Val = resp.Val[:0]
+				}
+			case zkvproto.OpDel:
+				if s.store.Delete(req.Key) {
+					resp.Status = zkvproto.StatusOK
+				} else {
+					resp.Status = zkvproto.StatusNotFound
+				}
+				resp.Val = resp.Val[:0]
+			case zkvproto.OpStats:
 				resp.Status = zkvproto.StatusOK
-				resp.Val = dst
-			} else {
-				resp.Status = zkvproto.StatusNotFound
+				resp.Val = s.appendMetrics(resp.Val[:0])
+			case zkvproto.OpPing:
+				resp.Status = zkvproto.StatusOK
 				resp.Val = resp.Val[:0]
 			}
-		case zkvproto.OpSet:
-			if err := s.store.Set(req.Key, req.Val); err != nil {
-				resp.Status = zkvproto.StatusErr
-				resp.Val = append(resp.Val[:0], err.Error()...)
-			} else {
-				resp.Status = zkvproto.StatusOK
-				resp.Val = resp.Val[:0]
-			}
-		case zkvproto.OpDel:
-			if s.store.Delete(req.Key) {
-				resp.Status = zkvproto.StatusOK
-			} else {
-				resp.Status = zkvproto.StatusNotFound
-			}
-			resp.Val = resp.Val[:0]
-		case zkvproto.OpStats:
-			resp.Status = zkvproto.StatusOK
-			resp.Val = s.appendMetrics(resp.Val[:0])
-		case zkvproto.OpPing:
-			resp.Status = zkvproto.StatusOK
-			resp.Val = resp.Val[:0]
 		}
-		if resp.WriteTo(bw) != nil {
+		if s.cfg.WriteTimeout > 0 {
+			// One deadline covers both the buffered write (which may
+			// write through when full) and the burst-end flush below.
+			conn.SetWriteDeadline(s.clampDrain(time.Now().Add(s.cfg.WriteTimeout)))
+		}
+		if err := resp.WriteTo(bw); err != nil {
+			if isTimeout(err) {
+				s.writeCloses.Add(1)
+			}
 			return
 		}
 		// Pipelining: only pay the flush syscall once the client's burst
 		// is fully consumed.
 		if br.Buffered() == 0 {
-			if bw.Flush() != nil {
+			if err := bw.Flush(); err != nil {
+				if isTimeout(err) {
+					s.writeCloses.Add(1)
+				}
 				return
 			}
+			depth = 0
 		}
 	}
 }
@@ -270,6 +447,25 @@ func protoError(err error) string {
 // MetricsText renders the metrics text the STATS op returns; cmd/zcached's
 // -metrics HTTP endpoint serves the same bytes.
 func (s *Server) MetricsText() []byte { return s.appendMetrics(nil) }
+
+// ShedStats reports the shed and deadline force-close counters, for tests
+// and operators reasoning about overload behavior.
+type ShedStats struct {
+	ShedConns, ShedRequests                          uint64
+	IdleCloses, ReadCloses, WriteCloses, DrainCloses uint64
+}
+
+// ShedStats snapshots the robustness counters.
+func (s *Server) ShedStats() ShedStats {
+	return ShedStats{
+		ShedConns:    s.shedConns.Load(),
+		ShedRequests: s.shedRequests.Load(),
+		IdleCloses:   s.idleCloses.Load(),
+		ReadCloses:   s.readCloses.Load(),
+		WriteCloses:  s.writeCloses.Load(),
+		DrainCloses:  s.drainCloses.Load(),
+	}
+}
 
 // appendMetrics renders the Prometheus-style counter text served by the
 // STATS op (and cmd/zcached's -metrics endpoint).
@@ -298,6 +494,17 @@ func (s *Server) appendMetrics(dst []byte) []byte {
 	line("zkv_conns_total", s.connsTotal.Load())
 	line("zkv_requests_total", s.requestsTotal.Load())
 	line("zkv_proto_errors_total", s.protoErrors.Load())
+	ready := uint64(0)
+	if s.Ready() {
+		ready = 1
+	}
+	line("zkv_ready", ready)
+	line("zkv_shed_conns_total", s.shedConns.Load())
+	line("zkv_shed_requests_total", s.shedRequests.Load())
+	line("zkv_deadline_idle_closes_total", s.idleCloses.Load())
+	line("zkv_deadline_read_closes_total", s.readCloses.Load())
+	line("zkv_deadline_write_closes_total", s.writeCloses.Load())
+	line("zkv_drain_force_closes_total", s.drainCloses.Load())
 	for i, v := range st.WalkDepth {
 		label := fmt.Sprintf(`zkv_walk_depth_bucket{depth="%d"}`, i)
 		if i == WalkHistBuckets-1 {

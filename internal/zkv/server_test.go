@@ -219,12 +219,14 @@ func TestServerGracefulDrain(t *testing.T) {
 	}
 }
 
-func TestServerBoundedConns(t *testing.T) {
+// TestServerShedsWhenPoolFull pins the shed contract: an over-limit
+// connection gets one StatusBusy frame and an immediate close — it is
+// never silently parked — and the shed is counted. Once a slot frees, new
+// connections serve normally again.
+func TestServerShedsWhenPoolFull(t *testing.T) {
 	srv, addr, errc := startServer(t, ServerConfig{MaxConns: 2, DrainTimeout: time.Second})
 	defer shutdownServer(t, srv, errc)
 
-	// Fill the pool with two idle connections; a third client must still
-	// complete once a slot frees.
 	c1, err := zkvproto.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -240,23 +242,210 @@ func TestServerBoundedConns(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	done := make(chan error, 1)
-	go func() {
-		c3, err := zkvproto.Dial(addr)
-		if err != nil {
-			done <- err
-			return
-		}
-		defer c3.Close()
-		done <- c3.Ping()
-	}()
-	// The third client is parked in the accept queue; free a slot.
-	time.Sleep(50 * time.Millisecond)
+	// Pool full: the third client must fail fast with a busy-class error,
+	// not hang.
+	c3, err := zkvproto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3.SetDeadline(time.Now().Add(3 * time.Second))
+	err = c3.Ping()
+	if zkvproto.Classify(err) != zkvproto.ClassBusy {
+		t.Fatalf("over-limit ping: err=%v class=%v, want busy", err, zkvproto.Classify(err))
+	}
+	c3.Close()
+	if got := srv.ShedStats().ShedConns; got == 0 {
+		t.Fatal("shed connection not counted")
+	}
+
+	// Free a slot; a new connection must serve normally.
 	c1.Close()
-	if err := <-done; err != nil {
-		t.Fatalf("queued client: %v", err)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c4, err := zkvproto.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c4.SetDeadline(time.Now().Add(time.Second))
+		err = c4.Ping()
+		c4.Close()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 	c2.Close()
+}
+
+// TestServerShedsDeepPipeline pins the pipeline-depth contract: requests
+// beyond MaxPipeline in one burst are answered StatusBusy without touching
+// the store, and the sheds are counted.
+func TestServerShedsDeepPipeline(t *testing.T) {
+	srv, addr, errc := startServer(t, ServerConfig{MaxPipeline: 4, DrainTimeout: time.Second})
+	defer shutdownServer(t, srv, errc)
+
+	cl, err := zkvproto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// One 256-request burst in a single flush (it arrives well inside one
+	// TCP segment, so the server sees it as one pipelined burst).
+	const n = 256
+	for i := 0; i < n; i++ {
+		if err := cl.QueueSet([]byte(fmt.Sprintf("deep%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ok, busy := 0, 0
+	for i := 0; i < n; i++ {
+		resp, err := cl.ReadReply()
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		switch resp.Status {
+		case zkvproto.StatusOK:
+			ok++
+		case zkvproto.StatusBusy:
+			busy++
+		default:
+			t.Fatalf("reply %d: status %d %q", i, resp.Status, resp.Val)
+		}
+	}
+	if ok == 0 || busy == 0 {
+		t.Fatalf("burst of %d with MaxPipeline=4: ok=%d busy=%d, want both nonzero", n, ok, busy)
+	}
+	if got := srv.ShedStats().ShedRequests; got != uint64(busy) {
+		t.Fatalf("shed counter %d != busy replies %d", got, busy)
+	}
+	// Shed requests were never executed: only the OK'd keys are resident.
+	if res := srv.store.Len(); res != ok {
+		t.Fatalf("%d keys resident, want %d (shed SETs must not execute)", res, ok)
+	}
+	// A fresh small burst on the same connection serves normally again.
+	if err := cl.Set([]byte("after"), []byte("v")); err != nil {
+		t.Fatalf("post-shed set: %v", err)
+	}
+}
+
+// TestServerIdleTimeout: a connection that never sends a request is
+// force-closed and counted.
+func TestServerIdleTimeout(t *testing.T) {
+	srv, addr, errc := startServer(t, ServerConfig{IdleTimeout: 100 * time.Millisecond, DrainTimeout: time.Second})
+	defer shutdownServer(t, srv, errc)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("idle connection was not closed")
+	}
+	if got := srv.ShedStats().IdleCloses; got == 0 {
+		t.Fatal("idle close not counted")
+	}
+}
+
+// TestServerSlowLorisClosed: a reader trickling a partial frame is
+// force-closed by the read-progress deadline, and the pool slot frees.
+func TestServerSlowLorisClosed(t *testing.T) {
+	srv, addr, errc := startServer(t, ServerConfig{ReadTimeout: 100 * time.Millisecond, DrainTimeout: time.Second})
+	defer shutdownServer(t, srv, errc)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Two header bytes of a SET frame, then silence.
+	if _, err := conn.Write([]byte{zkvproto.OpSet, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("slow-loris connection was not closed")
+	}
+	if got := srv.ShedStats().ReadCloses; got == 0 {
+		t.Fatal("slow-loris close not counted")
+	}
+}
+
+// TestServerDrainWithStalledClient is the drain half of the robustness
+// contract: Shutdown must complete within the drain window even with a
+// connected-but-silent client attached, force-closing (and counting) it.
+func TestServerDrainWithStalledClient(t *testing.T) {
+	srv, addr, errc := startServer(t, ServerConfig{DrainTimeout: 300 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Prove the connection is live (and its handler running), then stall.
+	cl := zkvproto.NewClient(conn)
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with stalled client: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("drain took %v, want ~DrainTimeout (300ms)", d)
+	}
+	if err := <-errc; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve returned %v", err)
+	}
+	if got := srv.ShedStats().DrainCloses; got == 0 {
+		t.Fatal("stalled client's force-close not counted")
+	}
+}
+
+// TestServerRobustnessMetrics: the shed/deadline/readiness counters are on
+// the metrics text.
+func TestServerRobustnessMetrics(t *testing.T) {
+	srv, _, errc := startServer(t, ServerConfig{})
+	// Serve runs in a goroutine; wait for it to mark itself started.
+	for start := time.Now(); !srv.Ready(); {
+		if time.Since(start) > 2*time.Second {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	text := string(srv.MetricsText())
+	for _, want := range []string{
+		"zkv_ready 1", "zkv_shed_conns_total 0", "zkv_shed_requests_total 0",
+		"zkv_deadline_idle_closes_total 0", "zkv_deadline_read_closes_total 0",
+		"zkv_deadline_write_closes_total 0", "zkv_drain_force_closes_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if !srv.Ready() {
+		t.Error("server not ready while serving")
+	}
+	shutdownServer(t, srv, errc)
+	if srv.Ready() {
+		t.Error("server still ready after shutdown")
+	}
+	if !strings.Contains(string(srv.MetricsText()), "zkv_ready 0") {
+		t.Error("zkv_ready did not drop to 0 after shutdown")
+	}
 }
 
 func TestRunLoad(t *testing.T) {

@@ -281,13 +281,13 @@ type Stats struct {
 	Capacity int
 	Resident int
 
-	Gets       uint64
-	GetHits    uint64
-	GetMisses  uint64
+	Gets      uint64
+	GetHits   uint64
+	GetMisses uint64
 	// GetLocked counts GETs that exhausted their seqlock retries and fell
 	// back to the shard mutex (not hits that merely deferred a touch).
-	GetLocked uint64
-	Sets      uint64
+	GetLocked  uint64
+	Sets       uint64
 	Inserts    uint64
 	Overwrites uint64
 	Dels       uint64

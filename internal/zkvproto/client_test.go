@@ -1,0 +1,273 @@
+package zkvproto
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fakeServer runs handler once per accepted connection on an ephemeral
+// port. Handlers speak raw zkvproto frames, which lets each test script
+// exactly the failure it needs.
+func fakeServer(t *testing.T, handler func(conn net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go handler(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// serveStatuses reads one request at a time and answers from the script;
+// when the script runs out it keeps answering the last status.
+func serveStatuses(statuses ...byte) func(net.Conn) {
+	return func(conn net.Conn) {
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		bw := bufio.NewWriter(conn)
+		var req Request
+		var resp Response
+		for i := 0; ; i++ {
+			if err := req.ReadFrom(br); err != nil {
+				return
+			}
+			s := statuses[len(statuses)-1]
+			if i < len(statuses) {
+				s = statuses[i]
+			}
+			resp.Status, resp.Val = s, nil
+			if err := resp.WriteTo(bw); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// TestClientReconnectRetriesGet: the first connection dies before
+// answering; an idempotent op must transparently reconnect and succeed.
+func TestClientReconnectRetriesGet(t *testing.T) {
+	var served atomic.Bool
+	addr := fakeServer(t, func(conn net.Conn) {
+		if served.CompareAndSwap(false, true) {
+			conn.Close() // die before the client's request is answered
+			return
+		}
+		serveStatuses(StatusNotFound)(conn)
+	})
+	cl, err := DialOptions(addr, Options{MaxRetries: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, ok, err := cl.Get([]byte("k"), nil)
+	if err != nil {
+		t.Fatalf("Get after reconnect: %v", err)
+	}
+	if ok {
+		t.Fatal("miss reported as hit")
+	}
+	if cl.Reconnects() == 0 || cl.Retries() == 0 {
+		t.Fatalf("reconnects=%d retries=%d, want both > 0", cl.Reconnects(), cl.Retries())
+	}
+}
+
+// TestClientSetAmbiguousOnMidOpDeath: a mutation whose connection dies
+// after the request may or may not have executed; the client must say so
+// rather than silently retrying.
+func TestClientSetAmbiguousOnMidOpDeath(t *testing.T) {
+	var served atomic.Bool
+	addr := fakeServer(t, func(conn net.Conn) {
+		if served.CompareAndSwap(false, true) {
+			br := bufio.NewReader(conn)
+			var req Request
+			req.ReadFrom(br) // consume the SET, then die without answering
+			conn.Close()
+			return
+		}
+		serveStatuses(StatusOK)(conn)
+	})
+	cl, err := DialOptions(addr, Options{MaxRetries: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Set([]byte("k"), []byte("v"))
+	if err == nil {
+		t.Fatal("Set succeeded on a dead connection")
+	}
+	if !errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("Set error %v, want ErrAmbiguous", err)
+	}
+	if got := Classify(err); got != ClassAmbiguous {
+		t.Fatalf("classified %v, want ambiguous", got)
+	}
+	if cl.Retries() != 0 {
+		t.Fatalf("ambiguous mutation was retried %d times", cl.Retries())
+	}
+	// The client heals for the next operation: reconnect is automatic.
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("Ping after ambiguous SET: %v", err)
+	}
+	if cl.Reconnects() == 0 {
+		t.Fatal("no reconnect recorded")
+	}
+}
+
+// TestClientRetriesBusy: StatusBusy means "not executed", so even
+// mutations retry through it.
+func TestClientRetriesBusy(t *testing.T) {
+	addr := fakeServer(t, serveStatuses(StatusBusy, StatusBusy, StatusOK))
+	cl, err := DialOptions(addr, Options{MaxRetries: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Set through busy: %v", err)
+	}
+	if got := cl.Retries(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+}
+
+// TestClientBusyExhaustsRetries: a persistently shedding server surfaces
+// ErrBusy once the retry budget runs out.
+func TestClientBusyExhaustsRetries(t *testing.T) {
+	addr := fakeServer(t, serveStatuses(StatusBusy))
+	cl, err := DialOptions(addr, Options{MaxRetries: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Ping()
+	if err == nil {
+		t.Fatal("Ping succeeded against an always-busy server")
+	}
+	if !errors.Is(err, ErrBusy) || Classify(err) != ClassBusy {
+		t.Fatalf("error %v classified %v, want busy", err, Classify(err))
+	}
+}
+
+// TestClientOpTimeout: a silent server converts into a bounded, classified
+// timeout, not a hang.
+func TestClientOpTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	addr := fakeServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		<-block // accept, then never answer
+	})
+	cl, err := DialOptions(addr, Options{OpTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	err = cl.Ping()
+	if err == nil {
+		t.Fatal("Ping succeeded against a silent server")
+	}
+	if got := Classify(err); got != ClassTimeout {
+		t.Fatalf("classified %v (%v), want timeout", got, err)
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) || !oe.Timeout() {
+		t.Fatalf("error %v does not implement net.Error timeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~150ms", d)
+	}
+}
+
+// TestBackoffDeterministic: the jitter schedule is a pure function of the
+// seed, so two clients with the same seed sleep identically — fault
+// schedules stay reproducible end to end.
+func TestBackoffDeterministic(t *testing.T) {
+	mk := func(seed uint64) []time.Duration {
+		c := &Client{opts: Options{Seed: seed}.withDefaults()}
+		var out []time.Duration
+		for attempt := 1; attempt <= 8; attempt++ {
+			out = append(out, c.backoffDelay(attempt))
+		}
+		return out
+	}
+	a, b, other := mk(42), mk(42), mk(43)
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i+1, a[i], b[i])
+		}
+		if a[i] != other[i] {
+			diff = true
+		}
+		// Bounds: attempt n sleeps base<<(n-1) capped, jittered [0.5, 1.5).
+		base := 2 * time.Millisecond << (i)
+		if base > 250*time.Millisecond {
+			base = 250 * time.Millisecond
+		}
+		if a[i] < base/2 || a[i] >= base*3/2 {
+			t.Fatalf("attempt %d slept %v, want [%v, %v)", i+1, a[i], base/2, base*3/2)
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical jitter schedules")
+	}
+}
+
+// TestClassify pins the error taxonomy: each class is the answer to "is a
+// retry safe, and why/why not".
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, ClassNone},
+		{ErrBusy, ClassBusy},
+		{ErrAmbiguous, ClassAmbiguous},
+		{os.ErrDeadlineExceeded, ClassTimeout},
+		{ErrBadOp, ClassProtocol},
+		{ErrBadFrame, ClassProtocol},
+		{ErrFrameTooLarge, ClassProtocol},
+		{io.EOF, ClassReset},
+		{io.ErrUnexpectedEOF, ClassReset},
+		{net.ErrClosed, ClassReset},
+		{syscall.ECONNRESET, ClassReset},
+		{syscall.EPIPE, ClassReset},
+		{&net.OpError{Op: "read", Err: syscall.ECONNRESET}, ClassReset},
+		{errors.New("mystery"), ClassUnknown},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+	// Class strings are stable report labels.
+	for c, want := range map[Class]string{
+		ClassNone: "none", ClassTimeout: "timeout", ClassReset: "reset",
+		ClassBusy: "busy", ClassProtocol: "protocol",
+		ClassAmbiguous: "ambiguous", ClassUnknown: "unknown",
+	} {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}

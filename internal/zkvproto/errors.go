@@ -1,0 +1,130 @@
+package zkvproto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"syscall"
+)
+
+// Class is the failure taxonomy the serving path speaks: every error a
+// Client surfaces falls into exactly one class, so callers (and zkvbench's
+// chaos report) can account for faults instead of pattern-matching strings.
+type Class int
+
+const (
+	// ClassNone is the class of a nil error.
+	ClassNone Class = iota
+	// ClassTimeout covers deadline expiries: per-op deadlines, dial
+	// timeouts, and any net.Error that reports Timeout().
+	ClassTimeout
+	// ClassReset covers abrupt transport death: connection reset/refused/
+	// aborted, broken pipe, closed connections, and unexpected EOF.
+	ClassReset
+	// ClassBusy covers StatusBusy shed responses: the server explicitly
+	// did not execute the request, so retrying (with backoff) is safe for
+	// every operation.
+	ClassBusy
+	// ClassProtocol covers wire-format violations in either direction:
+	// bad opcodes, bad frames, oversized length prefixes, and StatusErr
+	// replies.
+	ClassProtocol
+	// ClassAmbiguous covers mutations (SET/DEL) whose connection died
+	// after the request may have reached the server: the operation may or
+	// may not have executed, and only an idempotent caller may retry.
+	ClassAmbiguous
+	// ClassUnknown is the residue: an error the taxonomy does not
+	// recognize. A healthy deployment never produces one; zkvbench treats
+	// any unknown-class error as a harness failure.
+	ClassUnknown
+)
+
+// String names the class as zkvbench's error breakdown spells it.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassTimeout:
+		return "timeout"
+	case ClassReset:
+		return "reset"
+	case ClassBusy:
+		return "busy"
+	case ClassProtocol:
+		return "protocol"
+	case ClassAmbiguous:
+		return "ambiguous"
+	default:
+		return "unknown"
+	}
+}
+
+var (
+	// ErrBusy reports a StatusBusy shed response. The request was not
+	// executed; retry after backing off.
+	ErrBusy = errors.New("zkvproto: server busy (request shed, not executed)")
+	// ErrAmbiguous reports a mutation whose connection failed after the
+	// request may have reached the server: the write may or may not have
+	// been applied.
+	ErrAmbiguous = errors.New("zkvproto: result ambiguous (connection failed mid-operation)")
+)
+
+// OpError is the error a Client's operation methods return: the operation
+// name, its failure class, and the underlying cause.
+type OpError struct {
+	Op    string
+	Class Class
+	Err   error
+}
+
+func (e *OpError) Error() string {
+	return fmt.Sprintf("zkvproto: %s: %s: %v", e.Op, e.Class, e.Err)
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// Timeout satisfies net.Error-style checks for timeout-class failures.
+func (e *OpError) Timeout() bool { return e.Class == ClassTimeout }
+
+// Classify maps an error from any Client method (or a raw
+// Request/Response codec call) into its failure class.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassNone
+	}
+	var oe *OpError
+	if errors.As(err, &oe) {
+		return oe.Class
+	}
+	switch {
+	case errors.Is(err, ErrBusy):
+		return ClassBusy
+	case errors.Is(err, ErrAmbiguous):
+		return ClassAmbiguous
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return ClassTimeout
+	case errors.Is(err, ErrBadOp), errors.Is(err, ErrBadFrame),
+		errors.Is(err, ErrFrameTooLarge):
+		return ClassProtocol
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.ErrClosedPipe), errors.Is(err, net.ErrClosed),
+		errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNABORTED), errors.Is(err, syscall.EPIPE):
+		return ClassReset
+	}
+	// net.Error.Timeout() catches OS-specific timeout spellings the
+	// sentinel comparisons above miss.
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ClassTimeout
+	}
+	// An *net.OpError wrapping anything connection-shaped that the
+	// syscall sentinels missed still reads as transport death.
+	var noe *net.OpError
+	if errors.As(err, &noe) {
+		return ClassReset
+	}
+	return ClassUnknown
+}

@@ -3,8 +3,11 @@ package zkvproto
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"io"
+	"net"
 	"testing"
+	"time"
 )
 
 // FuzzFraming feeds arbitrary bytes to the request decoder. Whatever comes
@@ -73,6 +76,81 @@ func FuzzFraming(f *testing.F) {
 			if again.Op != req.Op || !bytes.Equal(again.Key, req.Key) || !bytes.Equal(again.Val, req.Val) {
 				t.Fatalf("round trip changed frame: %v vs %v", req, again)
 			}
+		}
+	})
+}
+
+// scriptedConn is a net.Conn whose read side replays a fixed byte script —
+// an adversarial server — and whose write side discards everything.
+type scriptedConn struct{ r *bytes.Reader }
+
+func (c *scriptedConn) Read(p []byte) (int, error)       { return c.r.Read(p) }
+func (c *scriptedConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *scriptedConn) Close() error                     { return nil }
+func (c *scriptedConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (c *scriptedConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (c *scriptedConn) SetDeadline(time.Time) error      { return nil }
+func (c *scriptedConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *scriptedConn) SetWriteDeadline(time.Time) error { return nil }
+
+// FuzzClientRead points the full client at a server that answers with
+// arbitrary bytes. Whatever comes back, the client must not panic, must
+// never surface a value that violates the protocol limits, and every error
+// it returns must land in a defined error class — an unclassifiable error
+// means a caller cannot decide whether a retry is safe.
+func FuzzClientRead(f *testing.F) {
+	respond := func(status byte, val []byte) []byte {
+		b := make([]byte, 5+len(val))
+		b[0] = status
+		binary.BigEndian.PutUint32(b[1:5], uint32(len(val)))
+		copy(b[5:], val)
+		return b
+	}
+	f.Add(respond(StatusOK, []byte("value")))
+	f.Add(respond(StatusNotFound, nil))
+	f.Add(respond(StatusErr, []byte("server error: boom")))
+	f.Add(respond(StatusBusy, nil))
+	f.Add(respond(99, nil))                         // invalid status
+	f.Add([]byte{StatusOK, 0xff, 0xff, 0xff, 0xff}) // 4GB length prefix
+	f.Add([]byte{StatusOK, 0x00})                   // truncated header
+	f.Add(bytes.Repeat(respond(StatusOK, nil), 4))  // several frames
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cl := NewClient(&scriptedConn{bytes.NewReader(data)})
+		// Walk every convenience path until the script breaks the
+		// connection; each call consumes at most a few frames.
+		for i := 0; i < 8; i++ {
+			var err error
+			switch i % 4 {
+			case 0:
+				var val []byte
+				var ok bool
+				val, ok, err = cl.Get([]byte("k"), nil)
+				if err == nil && ok && len(val) > MaxValLen {
+					t.Fatalf("client accepted %d-byte value", len(val))
+				}
+			case 1:
+				err = cl.Set([]byte("k"), []byte("v"))
+			case 2:
+				err = cl.Ping()
+			case 3:
+				var stats string
+				stats, err = cl.Stats()
+				if err == nil && len(stats) > MaxValLen {
+					t.Fatalf("client accepted %d-byte stats", len(stats))
+				}
+			}
+			if err == nil {
+				continue
+			}
+			switch Classify(err) {
+			case ClassNone, ClassUnknown:
+				t.Fatalf("unclassifiable client error: %v", err)
+			}
+			// The scripted conn is not reconnectable, so after the first
+			// transport failure every later call fails fast; that path is
+			// covered by the next loop iterations.
 		}
 	})
 }

@@ -34,6 +34,12 @@ const (
 	StatusOK       = 0 // success; GET carries the value
 	StatusNotFound = 1 // GET/DEL missed
 	StatusErr      = 2 // malformed or rejected request; value is the message
+	// StatusBusy is the overload-shed response: the server did NOT execute
+	// the request (connection pool or per-connection pipeline depth
+	// exhausted), so any operation — including SET/DEL — is safe to retry
+	// after backing off. A server may also send one unsolicited StatusBusy
+	// frame and close when it sheds a whole connection at accept time.
+	StatusBusy = 3
 )
 
 const (
@@ -154,7 +160,7 @@ func (r *Response) ReadFrom(br *bufio.Reader) error {
 		return unexpectedEOF(err)
 	}
 	status := hdr[0]
-	if status > StatusErr {
+	if status > StatusBusy {
 		return fmt.Errorf("%w: status %d", ErrBadFrame, status)
 	}
 	valLen := int(binary.BigEndian.Uint32(hdr[1:5]))
