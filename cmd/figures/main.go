@@ -28,6 +28,7 @@ import (
 
 	"zcache"
 	"zcache/internal/prof"
+	"zcache/internal/sample"
 	"zcache/internal/sim"
 	"zcache/internal/stats"
 )
@@ -46,6 +47,9 @@ func run() int {
 	store := flag.String("store", zcache.DefaultStoreDir, "runlab result store for incremental reruns (\"\" recomputes everything)")
 	check := flag.Bool("check", false, "enable simulator invariant checks (MESI, inclusion, walk legality)")
 	quarantine := flag.Bool("quarantine", false, "render partial figures past failing cells; exit 4 when cells are missing")
+	sampled := flag.Bool("sampled", false, "estimate cells via sampled execution (fast, bounded error; not valid with -policy opt)")
+	intervals := flag.Int("intervals", 0, "sampled: interval count (0 = default 32)")
+	clusters := flag.Int("clusters", 0, "sampled: cluster/leg count (0 = default 12)")
 	var pf prof.Flags
 	pf.Register(flag.CommandLine)
 	flag.Usage = func() {
@@ -106,6 +110,15 @@ exit codes:
 	e := zcache.NewExperiment(preset)
 	e.Check = *check
 	e.Quarantine = *quarantine
+	if *sampled {
+		if pol == sim.PolicyOPT {
+			log.Fatal("-sampled is incompatible with -policy opt (the sampled executor cannot honor next-use annotations)")
+		}
+		e.Sampled = &sample.Spec{Intervals: *intervals, Clusters: *clusters}
+		spec := e.Sampled.Normalized()
+		log.Printf("sampled execution: %d intervals, %d clusters (fingerprints disjoint from exact cells)",
+			spec.Intervals, spec.Clusters)
+	}
 	if *store != "" {
 		if _, err := e.AttachStore(*store); err != nil {
 			log.Fatal(err)

@@ -13,9 +13,13 @@ import (
 
 	"zcache"
 	"zcache/internal/cache"
+	"zcache/internal/energy"
 	"zcache/internal/hash"
 	"zcache/internal/prof"
 	"zcache/internal/repl"
+	"zcache/internal/sample"
+	"zcache/internal/sim"
+	"zcache/internal/workloads"
 )
 
 // benchSuiteWorkloads mirrors the reduced workload set the repo's figure
@@ -66,6 +70,19 @@ type benchReport struct {
 		BaselineWallNs int64    `json:"baseline_wall_ns,omitempty"`
 		Speedup        float64  `json:"speedup,omitempty"`
 	} `json:"cold_suite"`
+	// SampledSuite (schema 3) measures sampled execution over the Fig. 4
+	// ∪ Fig. 5 cell set (every design × both lookups) against the exact
+	// execution-driven run of the same cells, plus the worst per-cell
+	// miss-ratio error vs full-stream replay.
+	SampledSuite struct {
+		Intervals      int     `json:"intervals"`
+		Clusters       int     `json:"clusters"`
+		Cells          int     `json:"cells"`
+		WallNs         int64   `json:"wall_ns"`
+		ExactWallNs    int64   `json:"exact_wall_ns"`
+		SpeedupVsExact float64 `json:"speedup_vs_exact"`
+		MaxRelErr      float64 `json:"max_rel_err"`
+	} `json:"sampled_suite"`
 }
 
 // kernelSpec builds one cache controller for the access-kernel benchmarks.
@@ -214,6 +231,95 @@ func measureKernel(spec kernelSpec) (kernelResult, error) {
 	return res, nil
 }
 
+// measureSampledSuite runs the Fig. 4 ∪ Fig. 5 cell set exact and sampled
+// (both cold) and fills the report's sampled_suite block.
+func measureSampledSuite(rep *benchReport, preset zcache.Preset, pol sim.Policy) error {
+	designs := append([]zcache.DesignPoint{zcache.BaselineDesign()}, zcache.Fig4Designs()...)
+	var ws []workloads.Workload
+	for _, n := range benchSuiteWorkloads {
+		w, ok := workloads.ByName(n)
+		if !ok {
+			return fmt.Errorf("unknown workload %q", n)
+		}
+		ws = append(ws, w)
+	}
+
+	exact := zcache.NewExperiment(preset)
+	start := time.Now()
+	for _, w := range ws {
+		for _, d := range designs {
+			for _, lk := range suiteLookups {
+				if _, err := exact.Run(w, d, pol, lk); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	exactWall := time.Since(start)
+
+	sampled := zcache.NewExperiment(preset)
+	sampled.Sampled = &sample.Spec{}
+	start = time.Now()
+	serial := map[string]zcache.RunResult{}
+	for _, w := range ws {
+		for _, d := range designs {
+			for _, lk := range suiteLookups {
+				r, err := sampled.Run(w, d, pol, lk)
+				if err != nil {
+					return err
+				}
+				if lk == energy.Serial {
+					serial[w.Name+"/"+d.Label] = r
+				}
+			}
+		}
+	}
+	sampledWall := time.Since(start)
+
+	var maxErr float64
+	for _, w := range ws {
+		stream, err := sampled.Capture(w)
+		if err != nil {
+			return err
+		}
+		for _, d := range designs {
+			full, err := sim.ReplayL2(sampled.Config(d, pol, energy.Serial), stream)
+			if err != nil {
+				return err
+			}
+			r := serial[w.Name+"/"+d.Label]
+			if full.Counts.L2Accesses == 0 {
+				continue
+			}
+			fm := float64(full.Counts.L2Misses) / float64(full.Counts.L2Accesses)
+			sm := 0.0
+			if r.Metrics.Counts.L2Accesses > 0 {
+				sm = float64(r.Metrics.Counts.L2Misses) / float64(r.Metrics.Counts.L2Accesses)
+			}
+			if fm == 0 {
+				continue
+			}
+			rel := (sm - fm) / fm
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > maxErr {
+				maxErr = rel
+			}
+		}
+	}
+
+	spec := sample.Spec{}.Normalized()
+	rep.SampledSuite.Intervals = spec.Intervals
+	rep.SampledSuite.Clusters = spec.Clusters
+	rep.SampledSuite.Cells = len(ws) * len(designs) * len(suiteLookups)
+	rep.SampledSuite.WallNs = sampledWall.Nanoseconds()
+	rep.SampledSuite.ExactWallNs = exactWall.Nanoseconds()
+	rep.SampledSuite.SpeedupVsExact = float64(exactWall) / float64(sampledWall)
+	rep.SampledSuite.MaxRelErr = maxErr
+	return nil
+}
+
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	out := fs.String("out", "BENCH_kernel.json", "output file ('-' for stdout)")
@@ -245,7 +351,7 @@ func cmdBench(args []string) error {
 	}
 
 	var rep benchReport
-	rep.Schema = 2
+	rep.Schema = 3
 	rep.Go = runtime.Version()
 	for _, spec := range kernelSpecs() {
 		res, err := measureKernel(spec)
@@ -279,6 +385,20 @@ func cmdBench(args []string) error {
 	}
 	log.Printf("cold suite (%s, %s, %d workloads): %s", *presetFlag, *policyFlag,
 		len(benchSuiteWorkloads), wall.Round(time.Millisecond))
+
+	// Sampled-suite leg (schema 3): the Fig. 4 ∪ Fig. 5 cell set, exact
+	// execution-driven vs sampled, both cold, plus worst-case miss-ratio
+	// error vs full-stream replay. Skipped for OPT (not sampleable).
+	if pol != sim.PolicyOPT {
+		if err := measureSampledSuite(&rep, preset, pol); err != nil {
+			return err
+		}
+		log.Printf("sampled suite (%d cells): exact %s, sampled %s, speedup %.2fx, max rel err %.3f%%",
+			rep.SampledSuite.Cells,
+			time.Duration(rep.SampledSuite.ExactWallNs).Round(time.Millisecond),
+			time.Duration(rep.SampledSuite.WallNs).Round(time.Millisecond),
+			rep.SampledSuite.SpeedupVsExact, 100*rep.SampledSuite.MaxRelErr)
+	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

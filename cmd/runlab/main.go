@@ -33,6 +33,7 @@ import (
 	"zcache/internal/failpoint"
 	"zcache/internal/prof"
 	"zcache/internal/runlab"
+	"zcache/internal/sample"
 	"zcache/internal/sim"
 	"zcache/internal/stats"
 )
@@ -58,6 +59,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "validate-sampled":
+		err = cmdValidateSampled(os.Args[2:])
 	case "status":
 		err = cmdStatus(os.Args[2:])
 	case "gc":
@@ -84,11 +87,12 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: runlab <verb> [flags]
 
 verbs:
-  run     execute experiment suites through the resumable runner
-  bench   measure the simulation kernel, writing BENCH_kernel.json
-  status  show store contents and run history
-  gc      compact the store, dropping stale-schema and corrupt records
-  repair  rewrite corrupt shards from surviving records
+  run               execute experiment suites through the resumable runner
+  bench             measure the simulation kernel, writing BENCH_kernel.json
+  validate-sampled  check sampled execution's speedup and error against the exact suite
+  status            show store contents and run history
+  gc                compact the store, dropping stale-schema and corrupt records
+  repair            rewrite corrupt shards from surviving records
 
 run flags:
   -store DIR      result store (default %s)
@@ -107,6 +111,19 @@ run flags:
   -backoff D      base retry backoff, doubled per retry with deterministic jitter (default 0)
   -failpoints SPEC  fault injection, e.g. 'runlab/compute=panic:p=0.2;runlab/store/append=torn'
   -fail-seed N    deterministic seed for failpoint coin flips (default 1)
+  -sampled        run cells through sampled execution (representative interval legs);
+                  sampled cells get fingerprints disjoint from exact cells
+  -intervals N    sampled: interval count (default 32)
+  -clusters K     sampled: cluster/leg count (default 12)
+
+validate-sampled flags:
+  -preset NAME     test | quick | full (default test)
+  -policy NAME     replacement policy (default lru; opt is not sampleable)
+  -workloads LIST  comma-separated subset (default: the 8 bench-suite workloads)
+  -intervals N     interval count (default 32)
+  -clusters K      cluster/leg count (default 12)
+  -max-rel-err F   per-cell miss-ratio error bound vs full replay (default 0.02)
+  -min-speedup F   wall-time bound vs the exact execution suite (default 5)
 
 bench flags:
   -out FILE        report destination (default BENCH_kernel.json; '-' = stdout)
@@ -181,6 +198,9 @@ func cmdRun(args []string) error {
 	backoff := fs.Duration("backoff", 0, "base retry backoff (0 = immediate retry)")
 	failpoints := fs.String("failpoints", "", "failpoint spec, e.g. 'name=mode:p=0.5;...'")
 	failSeed := fs.Uint64("fail-seed", 1, "seed for deterministic failpoint firing")
+	sampledFlag := fs.Bool("sampled", false, "run cells through sampled execution")
+	intervals := fs.Int("intervals", 0, "sampled: interval count (0 = default 32)")
+	clusters := fs.Int("clusters", 0, "sampled: cluster/leg count (0 = default 12)")
 	var pf prof.Flags
 	pf.Register(fs)
 	fs.Parse(args)
@@ -211,6 +231,9 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *sampledFlag && pol == sim.PolicyOPT {
+		return fmt.Errorf("-sampled cannot run OPT (next-use spans the full stream); drop -sampled or pick another policy")
+	}
 	var subset []string
 	if *workloadsFlag != "" {
 		subset = strings.Split(*workloadsFlag, ",")
@@ -227,6 +250,12 @@ func cmdRun(args []string) error {
 	st, err := e.AttachStoreOptions(*store, runlab.Options{Durable: *durable, Strict: *strict})
 	if err != nil {
 		return err
+	}
+	if *sampledFlag {
+		e.Sampled = &sample.Spec{Intervals: *intervals, Clusters: *clusters}
+		spec := e.Sampled.Normalized()
+		log.Printf("sampled execution: %d intervals, %d clusters (fingerprints disjoint from exact cells)",
+			spec.Intervals, spec.Clusters)
 	}
 	e.Check = *checkFlag
 	e.Quarantine = *quarantine
@@ -355,8 +384,8 @@ func cmdStatus(args []string) error {
 		return err
 	}
 	fmt.Printf("store %s (schema v%d)\n\n", *store, runlab.SchemaVersion)
-	t := stats.NewTable("cells", "shards", "bytes", "corrupt lines")
-	t.AddRow(s.Cells, s.Shards, s.Bytes, s.Corrupt)
+	t := stats.NewTable("cells", "sampled", "shards", "bytes", "corrupt lines")
+	t.AddRow(s.Cells, s.Sampled, s.Shards, s.Bytes, s.Corrupt)
 	fmt.Print(t.String())
 	if len(s.Presets) > 0 {
 		names := make([]string, 0, len(s.Presets))
@@ -392,10 +421,10 @@ func cmdStatus(args []string) error {
 			entries = entries[len(entries)-*manifestTail:]
 		}
 		fmt.Printf("\nlast %d runs:\n", len(entries))
-		mt := stats.NewTable("started", "label", "preset", "git", "total", "cached", "computed", "failed", "quar", "corrupt", "wall")
+		mt := stats.NewTable("started", "label", "preset", "git", "total", "sampled", "cached", "computed", "failed", "quar", "corrupt", "wall")
 		for _, e := range entries {
 			mt.AddRow(e.StartedAt.Format("2006-01-02 15:04:05"), e.Label, e.Preset, e.GitRev,
-				e.Total, e.Cached, e.Computed, e.Failed, e.Quarantined, e.Corrupt,
+				e.Total, e.Sampled, e.Cached, e.Computed, e.Failed, e.Quarantined, e.Corrupt,
 				(time.Duration(e.WallSeconds * float64(time.Second))).Round(time.Millisecond).String())
 		}
 		fmt.Print(mt.String())

@@ -11,6 +11,7 @@ import (
 	"zcache/internal/assoc"
 	"zcache/internal/energy"
 	"zcache/internal/runlab"
+	"zcache/internal/sample"
 	"zcache/internal/sim"
 	"zcache/internal/stats"
 	"zcache/internal/workloads"
@@ -84,6 +85,10 @@ type RunResult struct {
 	Lookup   energy.Lookup
 	Metrics  sim.Metrics
 	Eval     energy.Result
+	// Sampled carries the sampling accuracy report when the cell was
+	// produced by sampled execution (Experiment.Sampled); nil for exact
+	// cells, and omitted from their stored JSON.
+	Sampled *sample.Estimate `json:",omitempty"`
 }
 
 // IPC returns the run's mean per-core IPC.
@@ -113,9 +118,18 @@ type Experiment struct {
 	// and finish the rest, returning partial results plus a *MatrixError
 	// naming the missing cells, instead of aborting on first failure.
 	Quarantine bool
+	// Sampled, when non-nil, switches every cell to sampled execution:
+	// the workload's captured L2 stream is split into intervals,
+	// clustered by reuse-distance signature, and only one representative
+	// leg per cluster is simulated (internal/sample). Sampled cells get
+	// fingerprints disjoint from exact ones, so a sampled run can never
+	// poison the exact store. OPT cells reject sampling.
+	Sampled *sample.Spec
 
 	mu       sync.Mutex
 	captures map[string]*captureSlot
+	plans    map[string]*planSlot
+	legs     map[legKey]*legSlot
 }
 
 // captureSlot builds one workload's stream exactly once even under
@@ -126,11 +140,46 @@ type captureSlot struct {
 	err    error
 }
 
+// planSlot builds one workload's sampling plan exactly once. The plan
+// (interval boundaries, signatures, clusters) depends only on the stream,
+// the L2 capacity, and the sampling spec — not on design or policy — so
+// it is shared across every cell of the workload's row.
+type planSlot struct {
+	once sync.Once
+	plan *sample.Plan
+	err  error
+}
+
+// sampledLookups is the lookup axis one sampled leg walk serves. Cache-
+// state evolution is lookup-invariant in trace replay, so the walk
+// accounts both variants' timing at once and the serial and parallel
+// cells of a (workload, design, policy) row cost one walk total.
+var sampledLookups = []energy.Lookup{energy.Serial, energy.Parallel}
+
+// legKey addresses one sampled leg walk: everything that changes the
+// walk except the lookup axis it already covers.
+type legKey struct {
+	workload string
+	design   string
+	policy   sim.Policy
+}
+
+// legSlot runs one (workload, design, policy) leg walk exactly once and
+// keeps the per-lookup extrapolated metrics.
+type legSlot struct {
+	once sync.Once
+	ms   []sim.Metrics // indexed like sampledLookups
+	est  sample.Estimate
+	err  error
+}
+
 // NewExperiment returns an experiment harness over the preset.
 func NewExperiment(p Preset) *Experiment {
 	m := energy.NewSystemModel()
 	m.Cores = p.Cores
-	return &Experiment{Preset: p, Model: m, captures: map[string]*captureSlot{}}
+	return &Experiment{Preset: p, Model: m,
+		captures: map[string]*captureSlot{}, plans: map[string]*planSlot{},
+		legs: map[legKey]*legSlot{}}
 }
 
 // config assembles the sim configuration for one cell.
@@ -144,6 +193,19 @@ func (e *Experiment) config(d DesignPoint, pol sim.Policy, lk energy.Lookup) sim
 	cfg.Seed = e.Preset.Seed
 	cfg.Check = e.Check
 	return cfg
+}
+
+// Config assembles the sim configuration for one cell, exactly as Run
+// does. Validation tooling uses it to replay captured streams under the
+// same configuration the sampled executor saw.
+func (e *Experiment) Config(d DesignPoint, pol sim.Policy, lk energy.Lookup) sim.Config {
+	return e.config(d, pol, lk)
+}
+
+// Capture returns (building once) the workload's L1-filtered L2 stream —
+// the same cached stream Run uses for OPT and sampled cells.
+func (e *Experiment) Capture(w workloads.Workload) (*sim.L2Stream, error) {
+	return e.capture(w)
 }
 
 // capture returns (building once) the workload's L1-filtered L2 stream.
@@ -167,9 +229,94 @@ func (e *Experiment) capture(w workloads.Workload) (*sim.L2Stream, error) {
 	return slot.stream, slot.err
 }
 
+// samplePlan returns (building once) the workload's sampling plan.
+func (e *Experiment) samplePlan(w workloads.Workload, stream *sim.L2Stream) (*sample.Plan, error) {
+	e.mu.Lock()
+	slot, ok := e.plans[w.Name]
+	if !ok {
+		slot = &planSlot{}
+		e.plans[w.Name] = slot
+	}
+	spec := *e.Sampled
+	e.mu.Unlock()
+	slot.once.Do(func() {
+		capacityLines := e.Preset.L2Bytes / 64
+		slot.plan, slot.err = sample.BuildPlan(stream, capacityLines, spec)
+	})
+	return slot.plan, slot.err
+}
+
+// sampledLegs returns (running once) the leg-walk outcome for one
+// (workload, design, policy) row, covering every lookup in sampledLookups.
+func (e *Experiment) sampledLegs(w workloads.Workload, d DesignPoint, pol sim.Policy) (*legSlot, error) {
+	e.mu.Lock()
+	key := legKey{workload: w.Name, design: d.Label, policy: pol}
+	slot, ok := e.legs[key]
+	if !ok {
+		slot = &legSlot{}
+		e.legs[key] = slot
+	}
+	e.mu.Unlock()
+	slot.once.Do(func() {
+		stream, err := e.capture(w)
+		if err != nil {
+			slot.err = fmt.Errorf("capture %s: %w", w.Name, err)
+			return
+		}
+		plan, err := e.samplePlan(w, stream)
+		if err != nil {
+			slot.err = fmt.Errorf("plan %s: %w", w.Name, err)
+			return
+		}
+		cfg := e.config(d, pol, sampledLookups[0])
+		slot.ms, slot.est, slot.err = sample.RunLookups(cfg, stream, plan, sampledLookups)
+		if slot.err != nil {
+			slot.err = fmt.Errorf("sampled %s/%s: %w", w.Name, d.Label, slot.err)
+		}
+	})
+	return slot, slot.err
+}
+
+// runSampled executes one cell in sampled mode: capture (shared per
+// workload), plan (shared per workload), then per-cluster representative
+// legs through the leg replayer — one walk per (workload, design, policy)
+// row serving both lookup variants' cells.
+func (e *Experiment) runSampled(w workloads.Workload, d DesignPoint, pol sim.Policy, lk energy.Lookup) (RunResult, error) {
+	if pol == sim.PolicyOPT {
+		return RunResult{}, fmt.Errorf("zcache: sampled mode cannot run OPT (next-use spans the full stream); drop -sampled for OPT cells")
+	}
+	slot, err := e.sampledLegs(w, d, pol)
+	if err != nil {
+		return RunResult{}, err
+	}
+	var m sim.Metrics
+	found := false
+	for i, cand := range sampledLookups {
+		if cand == lk {
+			m, found = slot.ms[i], true
+			break
+		}
+	}
+	if !found {
+		return RunResult{}, fmt.Errorf("zcache: sampled mode has no %v lookup variant", lk)
+	}
+	cfg := e.config(d, pol, lk)
+	eval, err := e.Model.Evaluate(cfg.L2Spec(), m.Counts)
+	if err != nil {
+		return RunResult{}, err
+	}
+	est := slot.est
+	return RunResult{Workload: w.Name, Design: d, Policy: pol, Lookup: lk,
+		Metrics: m, Eval: eval, Sampled: &est}, nil
+}
+
 // Run executes one cell. OPT cells replay the workload's captured stream
-// (§VI-B); all other policies run execution-driven.
+// (§VI-B); all other policies run execution-driven — unless Sampled is
+// set, in which case the cell runs through the sampled executor.
 func (e *Experiment) Run(w workloads.Workload, d DesignPoint, pol sim.Policy, lk energy.Lookup) (RunResult, error) {
+	if e.Sampled != nil {
+		return e.runSampled(w, d, pol, lk)
+	}
 	cfg := e.config(d, pol, lk)
 	var m sim.Metrics
 	if pol == sim.PolicyOPT {

@@ -82,6 +82,22 @@ type CellKey struct {
 	// Policy and Lookup are the sim.Policy / energy.Lookup enum values.
 	Policy int `json:"policy"`
 	Lookup int `json:"lookup"`
+	// Sampled, when non-nil, marks a sampled-execution cell and pins the
+	// sampling parameters. Exact cells leave it nil, and the fingerprint
+	// of a nil-Sampled key is byte-identical to what this package always
+	// produced — so sampled cells hash disjointly from exact ones and a
+	// sampled run can never poison (or be served from) the exact store.
+	Sampled *SampledKey `json:"sampled,omitempty"`
+}
+
+// SampledKey is the sampled-execution half of a cell's identity: every
+// sampling parameter that changes the extrapolated result.
+type SampledKey struct {
+	Intervals   int    `json:"intervals"`
+	Clusters    int    `json:"clusters"`
+	WarmupRefs  int    `json:"warmup_refs"`
+	DEWPermille int    `json:"dew_permille"`
+	Seed        uint64 `json:"seed"`
 }
 
 // Fingerprint hashes the key's fields in fixed order. The serialization
@@ -108,6 +124,19 @@ func (k CellKey) Fingerprint() Fingerprint {
 	} {
 		io.WriteString(h, f)
 		h.Write([]byte{0})
+	}
+	if k.Sampled != nil {
+		for _, f := range []string{
+			"sampled",
+			strconv.Itoa(k.Sampled.Intervals),
+			strconv.Itoa(k.Sampled.Clusters),
+			strconv.Itoa(k.Sampled.WarmupRefs),
+			strconv.Itoa(k.Sampled.DEWPermille),
+			strconv.FormatUint(k.Sampled.Seed, 10),
+		} {
+			io.WriteString(h, f)
+			h.Write([]byte{0})
+		}
 	}
 	sum := h.Sum(nil)
 	return Fingerprint(hex.EncodeToString(sum[:16]))

@@ -36,6 +36,9 @@ type ManifestEntry struct {
 	// count observed at the end of the run.
 	Quarantined int `json:"quarantined,omitempty"`
 	Corrupt     int `json:"corrupt,omitempty"`
+	// Sampled counts the run's sampled-execution cells (disjoint
+	// fingerprints from exact cells; see CellKey.Sampled).
+	Sampled int `json:"sampled,omitempty"`
 }
 
 // AppendManifest appends one entry to the store's manifest.

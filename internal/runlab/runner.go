@@ -294,7 +294,14 @@ func (r *Runner) Run(ctx context.Context, keys []CellKey, compute ComputeFunc) (
 
 	final := r.Last()
 	if r.Store != nil && len(keys) > 0 {
+		sampled := 0
+		for _, k := range keys {
+			if k.Sampled != nil {
+				sampled++
+			}
+		}
 		entry := ManifestEntry{
+			Sampled: sampled,
 			GitRev:      GitRev(),
 			Label:       r.Label,
 			Preset:      keys[0].Preset.Name,

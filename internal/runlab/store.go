@@ -339,6 +339,9 @@ type StoreStats struct {
 	Shards  int
 	Bytes   int64
 	Corrupt int
+	// Sampled counts cells produced by sampled execution (key.Sampled
+	// set); Cells - Sampled are exact.
+	Sampled int
 	// CorruptShards counts shard files containing at least one bad line.
 	CorruptShards int
 	// Presets counts cells per preset name; Schemas per schema version.
@@ -355,6 +358,9 @@ func (s *Store) Stats() (StoreStats, error) {
 	for _, rec := range s.mem {
 		st.Presets[rec.Key.Preset.Name]++
 		st.Schemas[rec.Key.Schema]++
+		if rec.Key.Sampled != nil {
+			st.Sampled++
+		}
 	}
 	s.mu.Unlock()
 	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {

@@ -1,0 +1,187 @@
+package sample
+
+import "zcache/internal/hash"
+
+// Cluster groups intervals with similar signatures. Rep is the interval
+// chosen to be simulated; Weight scales the representative's measured
+// counters so cluster totals extrapolate to the full stream (it is the
+// cluster's total access count divided by the representative's).
+type Cluster struct {
+	Rep     int
+	Members []int
+	Weight  float64
+}
+
+// xorshift64* — the same deterministic generator family the trace package
+// uses, local so clustering has no dependencies.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 1
+	}
+	return &rng{s: hash.Mix64(seed)}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// sqDist is the squared Euclidean distance between feature vectors.
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Clusters runs seeded k-means++ over the intervals' signature vectors and
+// returns at most k clusters, each with a medoid representative and an
+// extrapolation weight. The algorithm is strictly serial with fixed
+// iteration order and lowest-index tie-breaking, so the outcome depends
+// only on (intervals, k, seed) — never on GOMAXPROCS or map ordering.
+func Clusters(ivs []Interval, k int, seed uint64) []Cluster {
+	n := len(ivs)
+	if n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		k = 1
+	}
+	feats := make([][]float64, n)
+	for i, iv := range ivs {
+		feats[i] = iv.Sig.Vector()
+	}
+
+	// k-means++ seeding: first centroid uniformly, the rest D²-weighted.
+	r := newRNG(seed)
+	centroids := make([][]float64, 0, k)
+	pick := int(r.next() % uint64(n))
+	centroids = append(centroids, append([]float64(nil), feats[pick]...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var sum float64
+		last := centroids[len(centroids)-1]
+		for i, f := range feats {
+			d := sqDist(f, last)
+			if len(centroids) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			sum += d2[i]
+		}
+		next := -1
+		if sum > 0 {
+			target := r.float() * sum
+			var acc float64
+			for i := range feats {
+				acc += d2[i]
+				if acc >= target {
+					next = i
+					break
+				}
+			}
+		}
+		if next < 0 {
+			// All points coincide with a centroid: spread over indices.
+			next = int(r.next() % uint64(n))
+		}
+		centroids = append(centroids, append([]float64(nil), feats[next]...))
+	}
+
+	// Lloyd iterations with lowest-index tie-breaking.
+	assign := make([]int, n)
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for i, f := range feats {
+			best, bestD := 0, sqDist(f, centroids[0])
+			for c := 1; c < len(centroids); c++ {
+				if d := sqDist(f, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, len(centroids))
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+		}
+		for i, f := range feats {
+			c := assign[i]
+			counts[c]++
+			for j, v := range f {
+				centroids[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on the point farthest from
+				// its current centroid (first such point wins).
+				far, farD := 0, -1.0
+				for i, f := range feats {
+					if d := sqDist(f, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], feats[far])
+				assign[far] = c
+				counts[c] = 1
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range centroids[c] {
+				centroids[c][j] *= inv
+			}
+		}
+	}
+
+	// Collect members in interval order; medoid = member nearest its
+	// centroid (lowest index on ties); weight = member refs / rep refs.
+	out := make([]Cluster, 0, len(centroids))
+	for c := range centroids {
+		var cl Cluster
+		rep, repD := -1, 0.0
+		var memberRefs int
+		for i := range feats {
+			if assign[i] != c {
+				continue
+			}
+			cl.Members = append(cl.Members, i)
+			memberRefs += ivs[i].Len()
+			if d := sqDist(feats[i], centroids[c]); rep < 0 || d < repD {
+				rep, repD = i, d
+			}
+		}
+		if rep < 0 {
+			continue // empty cluster (k-means++ picked duplicate points)
+		}
+		cl.Rep = rep
+		cl.Weight = float64(memberRefs) / float64(ivs[rep].Len())
+		out = append(out, cl)
+	}
+	// Order clusters by representative index for stable reporting.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Rep > out[j].Rep; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

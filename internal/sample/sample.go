@@ -1,0 +1,412 @@
+package sample
+
+import (
+	"fmt"
+	"math"
+
+	"zcache/internal/energy"
+	"zcache/internal/hash"
+	"zcache/internal/sim"
+)
+
+// Spec configures sampled execution. The zero value means "defaults"; the
+// normalized spec is what gets folded into cell fingerprints, so two ways
+// of spelling the defaults hash identically.
+type Spec struct {
+	// Intervals is the number of fixed-size intervals the stream is
+	// split into (default 32).
+	Intervals int
+	// Clusters is the k of the signature clustering — also the number of
+	// representative legs simulated (default 8).
+	Clusters int
+	// WarmupRefs bounds the cache warm-up walked before each measured
+	// leg with counters off. Cache state always carries over from leg
+	// to leg along one shared sequential walk, so legs never start
+	// cold. 0 means full functional warming: every gap reference is
+	// walked and each leg starts from exactly the state full replay
+	// would have — sampling then only pays extrapolation error. A
+	// positive value W switches to stitched mode: gap references are
+	// skipped except the W immediately before each leg, trading a
+	// bounded staleness error (lines touched only inside a skipped gap
+	// are missing from the carried-over state) for proportionally less
+	// walk work.
+	WarmupRefs int
+	// DEWPermille bounds the guaranteed-hit fast path: the filter arms
+	// only when the relevant window's distinct-line footprint is at
+	// most DEWPermille/1000 of the L2's line capacity (the whole
+	// stream in shared-walk mode, the leg window in bounded mode), and
+	// disarms at the first observed eviction. 0 means the default 500
+	// (half the cache); negative disables the filter.
+	DEWPermille int
+	// Seed drives the k-means++ seeding; 0 means 1.
+	Seed uint64
+}
+
+// Normalized resolves defaults into explicit values.
+func (s Spec) Normalized() Spec {
+	if s.Intervals <= 0 {
+		s.Intervals = 32
+	}
+	if s.Clusters <= 0 {
+		s.Clusters = 12
+	}
+	if s.Clusters > s.Intervals {
+		s.Clusters = s.Intervals
+	}
+	if s.DEWPermille == 0 {
+		s.DEWPermille = 500
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Plan is the design-independent half of a sampled run: interval
+// boundaries, signatures, and cluster structure. It depends only on the
+// captured stream, the L2 line capacity, and the spec — not on the design
+// or policy — so one plan serves every cell of a workload's row.
+type Plan struct {
+	Spec      Spec
+	Intervals []Interval
+	Clusters  []Cluster
+	// Footprint is the stream's total distinct-line count (the sum of
+	// the intervals' cold-miss counts); the DEW filter arms in
+	// shared-walk mode only when it fits the permille residency bound.
+	Footprint uint64
+
+	capacityLines uint64
+	predMiss      []float64 // per-interval signature miss-ratio proxy
+}
+
+// BuildPlan splits the stream, computes signatures, and clusters them.
+func BuildPlan(stream *sim.L2Stream, capacityLines uint64, spec Spec) (*Plan, error) {
+	if stream == nil {
+		return nil, fmt.Errorf("sample: nil L2 stream")
+	}
+	spec = spec.Normalized()
+	p := &Plan{Spec: spec, capacityLines: capacityLines}
+	n := len(stream.Refs)
+	if n == 0 {
+		return p, nil
+	}
+	p.Intervals = Split(n, func(i int) uint64 { return stream.Refs[i].Line }, spec.Intervals)
+	p.Clusters = Clusters(p.Intervals, spec.Clusters, spec.Seed)
+	p.predMiss = make([]float64, len(p.Intervals))
+	for i, iv := range p.Intervals {
+		p.predMiss[i] = iv.Sig.PredictMissRatio(capacityLines)
+		p.Footprint += iv.Sig.Cold
+	}
+	return p, nil
+}
+
+// Estimate is the sampled run's accuracy report, carried alongside the
+// extrapolated metrics (and into the result store for sampled cells).
+type Estimate struct {
+	// MissRatio is the extrapolated L2 miss ratio; MissRatioErr is the
+	// 95% half-width from the stratified cluster variance of the
+	// signature miss proxy (see DESIGN.md §13 for the math and caveats).
+	MissRatio    float64 `json:"miss_ratio"`
+	MissRatioErr float64 `json:"miss_ratio_err"`
+	// TotalRefs is the full stream length; SampledRefs counts measured-
+	// leg references (warm-up excluded); SkippedHits counts references
+	// the DEW filter settled without touching the arrays.
+	TotalRefs   int    `json:"total_refs"`
+	SampledRefs int    `json:"sampled_refs"`
+	SkippedHits uint64 `json:"skipped_hits"`
+	// Intervals and Clusters echo the effective (normalized, clamped)
+	// plan shape.
+	Intervals int `json:"intervals"`
+	Clusters  int `json:"clusters"`
+}
+
+// epochSet is a fixed-size open-addressing set of line addresses with
+// epoch-stamped entries: reset is O(1) and membership tests and inserts
+// never allocate, which keeps the sampled hot path at zero allocs/access.
+type epochSet struct {
+	keys   []uint64
+	epochs []uint32
+	epoch  uint32
+	mask   uint64
+	count  int
+}
+
+func newEpochSet(capHint int) *epochSet {
+	size := 1024
+	for size < 4*capHint {
+		size <<= 1
+	}
+	return &epochSet{
+		keys:   make([]uint64, size),
+		epochs: make([]uint32, size),
+		epoch:  1,
+		mask:   uint64(size) - 1,
+	}
+}
+
+func (s *epochSet) reset() {
+	s.epoch++
+	s.count = 0
+	if s.epoch == 0 { // uint32 wrap: invalidate everything explicitly
+		for i := range s.epochs {
+			s.epochs[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// insert adds line and reports whether it was absent. When the table is
+// at capacity and the line is absent, it reports (false, false).
+func (s *epochSet) insert(line uint64) (added, ok bool) {
+	i := hash.Mix64(line) & s.mask
+	for {
+		if s.epochs[i] != s.epoch {
+			if s.count >= len(s.keys)*3/4 {
+				return false, false
+			}
+			s.keys[i] = line
+			s.epochs[i] = s.epoch
+			s.count++
+			return true, true
+		}
+		if s.keys[i] == line {
+			return false, true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// Run simulates the plan's representative legs under cfg and extrapolates
+// full-stream metrics. Future-aware policies (OPT) are rejected: a leg
+// replay cannot honor next-use annotations computed over a stream it does
+// not fully visit.
+func Run(cfg sim.Config, stream *sim.L2Stream, plan *Plan) (sim.Metrics, Estimate, error) {
+	ms, est, err := RunLookups(cfg, stream, plan, []energy.Lookup{cfg.Lookup})
+	if err != nil {
+		return sim.Metrics{}, est, err
+	}
+	return ms[0], est, nil
+}
+
+// RunLookups is Run for several lookup-latency variants at once: one shared
+// walk over the representative legs serves every requested lookup, because
+// serial vs parallel lookup changes only the charged bank hit latency,
+// never which accesses hit (sim.L2Replayer timing variants). The returned
+// metrics are in lookups order; misses, writebacks, and the accuracy
+// estimate are identical across variants, only cycle-derived figures
+// differ. This is what lets a sampled suite amortize the walk across the
+// Fig. 5 lookup axis — each exact execution-driven cell must re-simulate.
+func RunLookups(cfg sim.Config, stream *sim.L2Stream, plan *Plan, lookups []energy.Lookup) ([]sim.Metrics, Estimate, error) {
+	if cfg.L2Policy == sim.PolicyOPT {
+		return nil, Estimate{}, fmt.Errorf("sample: OPT requires the full stream; run it exact")
+	}
+	if stream == nil || plan == nil {
+		return nil, Estimate{}, fmt.Errorf("sample: nil stream or plan")
+	}
+	if len(lookups) == 0 {
+		return nil, Estimate{}, fmt.Errorf("sample: no lookup variants requested")
+	}
+	spec := plan.Spec.Normalized()
+	est := Estimate{TotalRefs: len(stream.Refs),
+		Intervals: len(plan.Intervals), Clusters: len(plan.Clusters)}
+	if len(stream.Refs) == 0 {
+		// L1-resident workload: the exact empty-stream path is already
+		// O(1); sampled mode degenerates to it.
+		ms := make([]sim.Metrics, len(lookups))
+		for i, lk := range lookups {
+			c := cfg
+			c.Lookup = lk
+			m, err := sim.ReplayL2(c, stream)
+			if err != nil {
+				return nil, est, err
+			}
+			ms[i] = m
+		}
+		return ms, est, nil
+	}
+
+	refs := stream.Refs
+	maxDEW := uint64(0)
+	if spec.DEWPermille > 0 {
+		maxDEW = plan.capacityLines * uint64(spec.DEWPermille) / 1000
+	}
+
+	var (
+		wAcc, wHits, wMiss, wWB, wReloc, wWalkTR float64
+		wDemand, wTagLookups                     float64
+		wStalls                                  = make([][]float64, len(lookups))
+	)
+	for v := range wStalls {
+		wStalls[v] = make([]float64, cfg.Cores)
+	}
+	harvest := func(x *sim.L2Replayer, cl Cluster) {
+		lc := x.Leg()
+		est.SampledRefs += plan.Intervals[cl.Rep].Len()
+		est.SkippedHits += lc.SkippedHits
+		w := cl.Weight
+		wAcc += w * float64(lc.Counts.L2Accesses)
+		wHits += w * float64(lc.Counts.L2Hits)
+		wMiss += w * float64(lc.Counts.L2Misses)
+		wWB += w * float64(lc.Counts.Writebacks)
+		wReloc += w * float64(lc.Counts.L2Relocations)
+		wWalkTR += w * float64(lc.Counts.L2WalkTagReads)
+		wDemand += w * float64(lc.Demand)
+		wTagLookups += w * float64(lc.TagLookups)
+		for v := range wStalls {
+			for c := range wStalls[v] {
+				wStalls[v][c] += w * float64(lc.VariantStalls[v][c])
+			}
+		}
+	}
+
+	// One replayer advances through the stream: cache state carries over
+	// from leg to leg, so every leg starts warm. With WarmupRefs == 0
+	// every gap reference is functionally warmed (state exactly matches
+	// full replay at each leg start); with WarmupRefs = W > 0 the walk
+	// skips gap references entirely except the W immediately before each
+	// leg (stitched mode — state is warm but can be stale for lines only
+	// touched inside a skipped gap). Counters are reset at each
+	// representative's start and harvested at its end; the walk stops
+	// after the last representative (the suffix never influences earlier
+	// intervals).
+	cfg.Lookup = lookups[0]
+	x, err := sim.NewL2Replayer(cfg)
+	if err != nil {
+		return nil, Estimate{}, err
+	}
+	for _, lk := range lookups[1:] {
+		x.AddLookupTiming(lk)
+	}
+	// DEW arms for the whole walk when the stream's total footprint
+	// provably fits residency: then a replayed line can only be displaced
+	// by set-conflict skew, and the first eviction disarms the fast path
+	// before any stale skip can happen. (In stitched mode gap-skipped
+	// lines are in neither the seen set nor the arrays, so the filter
+	// stays consistent: their next touch replays as the miss it is.)
+	dew := maxDEW > 0 && plan.Footprint > 0 && plan.Footprint <= maxDEW
+	var seen *epochSet
+	if dew {
+		seen = newEpochSet(int(plan.Footprint))
+	}
+	pos := 0
+	for _, cl := range plan.Clusters {
+		iv := plan.Intervals[cl.Rep]
+		warmStart := pos
+		if spec.WarmupRefs > 0 && iv.Start-spec.WarmupRefs > pos {
+			warmStart = iv.Start - spec.WarmupRefs
+		}
+		for i := warmStart; i < iv.Start; i++ {
+			if dew {
+				if x.Evictions() != 0 {
+					dew = false
+				} else if added, ok := seen.insert(refs[i].Line); ok && !added {
+					continue // warm-region re-access: state no-op
+				}
+			}
+			x.Warm(refs[i])
+		}
+		x.ResetCounters()
+		for i := iv.Start; i < iv.End; i++ {
+			if dew {
+				if x.Evictions() != 0 {
+					dew = false
+				} else if added, ok := seen.insert(refs[i].Line); ok && !added {
+					x.NoteGuaranteedHit(refs[i])
+					continue
+				}
+			}
+			x.Replay(refs[i], 0)
+		}
+		harvest(x, cl)
+		pos = iv.End
+	}
+
+	// Activity counts are lookup-invariant; cycle-derived figures (IPC,
+	// bank loads) are assembled per variant from its own stall totals.
+	var base sim.Metrics
+	base.Counts.Instructions = stream.Instructions
+	base.Counts.L1Accesses = stream.L1Accesses
+	base.Counts.L2Accesses = round(wAcc)
+	base.Counts.L2Misses = round(wMiss)
+	if base.Counts.L2Misses > base.Counts.L2Accesses {
+		base.Counts.L2Misses = base.Counts.L2Accesses
+	}
+	// Keep the hit/miss and DRAM identities exact after rounding.
+	base.Counts.L2Hits = base.Counts.L2Accesses - base.Counts.L2Misses
+	base.Counts.Writebacks = round(wWB)
+	base.Counts.DRAMAccesses = base.Counts.L2Misses + base.Counts.Writebacks
+	base.Counts.L2Relocations = round(wReloc)
+	base.Counts.L2WalkTagReads = round(wWalkTR)
+	base.L1Misses = round(wDemand)
+
+	ms := make([]sim.Metrics, len(lookups))
+	for v := range lookups {
+		m := base
+		var maxCycles uint64
+		for c := 0; c < cfg.Cores; c++ {
+			total := stream.PerCoreInstructions[c] + round(wStalls[v][c])
+			if total > maxCycles {
+				maxCycles = total
+			}
+			if total > 0 {
+				m.PerCoreIPC = append(m.PerCoreIPC, float64(stream.PerCoreInstructions[c])/float64(total))
+			} else {
+				m.PerCoreIPC = append(m.PerCoreIPC, 1.0)
+			}
+		}
+		m.Counts.Cycles = maxCycles
+		if maxCycles > 0 {
+			denom := float64(maxCycles) * float64(cfg.L2Banks)
+			m.BankDemandLoad = wDemand / denom
+			m.BankTagLoad = wTagLookups / denom
+		}
+		ms[v] = m
+	}
+
+	if wAcc > 0 {
+		est.MissRatio = wMiss / wAcc
+	}
+	est.MissRatioErr = plan.missErr95()
+	return ms, est, nil
+}
+
+// missErr95 is the stratified 95% half-width on the miss ratio: with one
+// sampled interval per cluster, Var(total misses) ~ sum over clusters of
+// m_j^2 * sigma_j^2, where sigma_j^2 is the within-cluster variance of the
+// per-interval predicted miss counts (the signature proxy standing in for
+// the unsimulated members' true counts).
+func (p *Plan) missErr95() float64 {
+	var totalRefs float64
+	for _, iv := range p.Intervals {
+		totalRefs += float64(iv.Len())
+	}
+	if totalRefs == 0 {
+		return 0
+	}
+	var variance float64
+	for _, cl := range p.Clusters {
+		if len(cl.Members) < 2 {
+			continue
+		}
+		var mean float64
+		for _, i := range cl.Members {
+			mean += p.predMiss[i] * float64(p.Intervals[i].Len())
+		}
+		mean /= float64(len(cl.Members))
+		var s2 float64
+		for _, i := range cl.Members {
+			d := p.predMiss[i]*float64(p.Intervals[i].Len()) - mean
+			s2 += d * d
+		}
+		s2 /= float64(len(cl.Members) - 1)
+		variance += float64(len(cl.Members)) * float64(len(cl.Members)) * s2
+	}
+	return 1.96 * math.Sqrt(variance) / totalRefs
+}
+
+func round(v float64) uint64 {
+	if v <= 0 {
+		return 0
+	}
+	return uint64(v + 0.5)
+}

@@ -1,0 +1,45 @@
+package sample
+
+// Interval is one fixed-size slice of a stream: its access-index range and
+// the reuse-distance signature of the accesses inside it. Reuse distances
+// are measured against the whole stream (a reuse whose previous access
+// falls in an earlier interval still scores as a reuse, not cold), so
+// interval signatures reflect the stream the interval actually sees.
+type Interval struct {
+	Start, End int
+	Sig        Signature
+}
+
+// Len returns the interval's access count.
+func (iv Interval) Len() int { return iv.End - iv.Start }
+
+// Split partitions a stream of n accesses into at most k equal-size
+// intervals (the last may run short) and computes each interval's
+// signature in one streaming pass. lineAt(i) must return the line address
+// of access i. The pass is serial and deterministic.
+func Split(n int, lineAt func(int) uint64, k int) []Interval {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	size := (n + k - 1) / k
+	out := make([]Interval, 0, k)
+	last := make(map[uint64]int, 1024)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		iv := Interval{Start: start, End: end}
+		for i := start; i < end; i++ {
+			line := lineAt(i)
+			if prev, ok := last[line]; ok {
+				iv.Sig.AddReuse(uint64(i - prev))
+			} else {
+				iv.Sig.AddCold()
+			}
+			last[line] = i
+		}
+		out = append(out, iv)
+	}
+	return out
+}

@@ -3,9 +3,6 @@ package sim
 import (
 	"fmt"
 
-	"zcache/internal/cache"
-	"zcache/internal/energy"
-	"zcache/internal/repl"
 	"zcache/internal/trace"
 )
 
@@ -167,12 +164,7 @@ func ReplayL2(cfg Config, stream *L2Stream) (Metrics, error) {
 		m.Counts.Cycles = maxCycles
 		return m, nil
 	}
-	bankBits := uint(0)
-	for b := cfg.L2Banks; b > 1; b >>= 1 {
-		bankBits++
-	}
 	lineBits := cfg.lineBits()
-	bankLat := cfg.bankLatency(energy.NewModel())
 
 	// Next-use annotation over the fixed global stream feeds OPT.
 	accesses := make([]trace.Access, len(stream.Refs))
@@ -184,81 +176,16 @@ func ReplayL2(cfg Config, stream *L2Stream) (Metrics, error) {
 		return Metrics{}, err
 	}
 
-	type rbank struct {
-		cache  *cache.Cache
-		policy repl.Policy
-		demand uint64
+	x, err := NewL2Replayer(cfg)
+	if err != nil {
+		return Metrics{}, err
 	}
-	banks := make([]*rbank, cfg.L2Banks)
-	var counts energy.SystemCounts
-	mcuFree := make([]uint64, cfg.MemControllers)
-	perMCU := cfg.MemBytesPerCycle / float64(cfg.MemControllers)
-	mcuOccup := uint64(float64(cfg.LineBytes)/perMCU + 0.5)
-	if mcuOccup == 0 {
-		mcuOccup = 1
-	}
-	for b := range banks {
-		arr, err := buildL2Bank(cfg, b)
-		if err != nil {
-			return Metrics{}, err
-		}
-		pol, err := buildPolicy(cfg.L2Policy, arr.Blocks(), cfg.Seed^uint64(b))
-		if err != nil {
-			return Metrics{}, err
-		}
-		cc, err := cache.New(arr, pol, lineBits)
-		if err != nil {
-			return Metrics{}, err
-		}
-		if cfg.Check {
-			cc.EnableChecks(true)
-		}
-		cc.OnEviction = func(addr uint64, dirty bool) {
-			if dirty {
-				counts.Writebacks++
-				counts.DRAMAccesses++
-			}
-		}
-		banks[b] = &rbank{cache: cc, policy: pol}
-	}
-
-	coreCycles := make([]uint64, cfg.Cores)
 	for i, r := range stream.Refs {
-		bank := banks[int(r.Line&(uint64(cfg.L2Banks)-1))]
-		bankAddr := (r.Line >> bankBits) << lineBits
-		if fa, ok := bank.policy.(repl.FutureAware); ok {
-			fa.SetNextUse(nextUse[i])
-		}
-		counts.L2Accesses++
-		if r.Demand {
-			bank.demand++
-			coreCycles[r.Core] += uint64(r.Gap)
-			stall := uint64(cfg.L1ToL2 + bankLat)
-			if bank.cache.Access(bankAddr, r.Write) {
-				counts.L2Hits++
-			} else {
-				counts.L2Misses++
-				counts.DRAMAccesses++
-				mcu := int((r.Line >> bankBits) % uint64(cfg.MemControllers))
-				now := coreCycles[r.Core] + stall
-				start := now
-				if mcuFree[mcu] > start {
-					start = mcuFree[mcu]
-				}
-				mcuFree[mcu] = start + mcuOccup
-				stall += (start - now) + uint64(cfg.MemLatency)
-			}
-			coreCycles[r.Core] += stall
-		} else {
-			// Writeback: off the critical path.
-			if bank.cache.Access(bankAddr, true) {
-				counts.L2Hits++
-			} else {
-				counts.L2Misses++
-				counts.DRAMAccesses++
-			}
-		}
+		x.Replay(r, nextUse[i])
 	}
+	banks := x.banks
+	counts := x.counts
+	coreCycles := x.timings[0].coreCycles
 
 	var m Metrics
 	counts.Instructions = stream.Instructions

@@ -36,7 +36,22 @@ func (e *Experiment) AttachStoreOptions(dir string, opts runlab.Options) (*runla
 // that differ only in name still hash apart and a resized machine can
 // never serve stale cells.
 func (e *Experiment) cellKey(c MatrixCell) runlab.CellKey {
+	var sampled *runlab.SampledKey
+	if e.Sampled != nil {
+		// Fold the normalized spec so every spelling of the defaults
+		// addresses the same cells; exact cells keep a nil Sampled and a
+		// fingerprint byte-identical to pre-sampling builds.
+		spec := e.Sampled.Normalized()
+		sampled = &runlab.SampledKey{
+			Intervals:   spec.Intervals,
+			Clusters:    spec.Clusters,
+			WarmupRefs:  spec.WarmupRefs,
+			DEWPermille: spec.DEWPermille,
+			Seed:        spec.Seed,
+		}
+	}
 	return runlab.CellKey{
+		Sampled: sampled,
 		Schema: runlab.SchemaVersion,
 		Preset: runlab.PresetKey{
 			Name:         e.Preset.Name,
