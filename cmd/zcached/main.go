@@ -27,6 +27,13 @@
 // the rebuild signal and starts those shards cold — never serving a torn
 // image. -persist-sync bounds page-cache loss by msyncing every mutation.
 //
+// Cluster deployments need no server-side configuration: membership lives
+// in the clients' consistent-hash ring (see internal/zcluster and
+// DESIGN.md §14), and the MIGRATE/FORGET verbs that power live resharding
+// are answered by every zcached. -no-migrate refuses both verbs for
+// standalone deployments; -migrate-page bounds the per-page scan budget a
+// migration can hold a shard lock for.
+//
 // Exit codes: 0 on clean shutdown (including signal-triggered), 1 on
 // configuration or runtime failure.
 package main
@@ -72,6 +79,8 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		writeTO  = fs.Duration("write-timeout", 0, "close connections whose reads stall a response write this long (0 = 10s, negative = off)")
 		maxPipe  = fs.Int("max-pipeline", 0, "shed requests past this per-connection pipeline depth with a busy reply (0 = 1024, negative = off)")
 		metrics  = fs.String("metrics", "", "optional HTTP address serving /metrics (empty = off)")
+		noMig    = fs.Bool("no-migrate", false, "refuse MIGRATE/FORGET (standalone deployments that should never hand keys off)")
+		migPage  = fs.Int("migrate-page", 0, "MIGRATE reply page budget in bytes (0 = 64KiB); requests may ask for less")
 		persist  = fs.String("persist", "", "directory for mmap-backed persistent shards (empty = off); warm-restores valid shard images on boot")
 		psync    = fs.Bool("persist-sync", false, "msync every persisted mutation (crash-bounded loss, much slower)")
 		pcell    = fs.Int("persist-cell", 0, "persistent cell size in bytes incl. 16-byte header (0 = 4096); larger entries are served but not persisted")
@@ -104,7 +113,7 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	srv := zkv.NewServer(store, zkv.ServerConfig{
 		Addr: *addr, MaxConns: *maxConns, DrainTimeout: *drain,
 		IdleTimeout: *idleTO, ReadTimeout: *readTO, WriteTimeout: *writeTO,
-		MaxPipeline: *maxPipe,
+		MaxPipeline: *maxPipe, DisableMigration: *noMig, MigratePageBytes: *migPage,
 	})
 
 	// Signals share the shutdown path with ctx cancellation so tests can

@@ -1,5 +1,5 @@
-// Command zkvbench load-tests a running zcached server, and doubles as the
-// CLI face of the simulator-equivalence harness.
+// Command zkvbench load-tests a running zcached server — or a cluster of
+// them — and doubles as the CLI face of the simulator-equivalence harness.
 //
 // Load generation (default mode):
 //
@@ -11,6 +11,21 @@
 // saturated for the whole window (contention mode): combined with
 // -get-frac 1 the percentiles then measure pure readers while eviction
 // walks and relocation chains are in flight.
+//
+// Cluster mode:
+//
+//	zkvbench -nodes 127.0.0.1:7171,127.0.0.1:7172,127.0.0.1:7173 \
+//	    -topology replicated -oracle -join 127.0.0.1:7174 -join-after 50000
+//
+// routes the same stream through the client-side consistent-hash ring
+// (internal/zcluster) instead of one connection pool. -topology ring keeps
+// one copy per key; replicated fans writes out R=2 and lets reads fail
+// over. The report adds a per-node latency breakdown and a per-node health
+// line parsed from each server's STATS text. With -join, the named node is
+// added to the ring live once -join-after measured ops have completed —
+// the full copy/flip/delta/forget reshard runs under load, and the run
+// fails if any in-flight operation is dropped. -chaos applies per node:
+// every node gets its own fault proxy with a derived seed.
 //
 // Chaos mode:
 //
@@ -32,22 +47,28 @@
 //
 // replays a workload preset through a one-shard zkv store and through the
 // simulator's cache construction, asserting bit-identical eviction victim
-// sequences and hit/miss counts. A divergence exits 2.
+// sequences and hit/miss counts. With -equiv-nodes N, the replay instead
+// routes the trace through an N-node consistent-hash ring onto per-node
+// stores, checking the per-shard claim node by node. A divergence exits 2.
 //
 // Exit codes: 0 success, 1 usage/config error, 2 benchmark failure:
 // equivalence divergence, any wrong (oracle-mismatched) GET, any
-// unclassified error, or — outside chaos mode, where faults are expected —
-// any error at all.
+// unclassified error, a dropped in-flight operation during a live join,
+// or — outside chaos mode, where faults are expected — any error at all.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"zcache/internal/netchaos"
+	"zcache/internal/zcluster"
 	"zcache/internal/zkv"
+	"zcache/internal/zkvproto"
 )
 
 func main() {
@@ -67,18 +88,26 @@ func run(args []string) int {
 		seed     = fs.Uint64("seed", 1, "workload seed")
 		writers  = fs.Int("writers", 0, "background all-SET connections kept saturated for the whole run (contention mode)")
 
+		nodes     = fs.String("nodes", "", "comma-separated node addresses; non-empty switches to cluster mode")
+		topology  = fs.String("topology", "ring", "cluster topology: ring (one copy per key) or replicated (R=2)")
+		vnodes    = fs.Int("vnodes", 0, "virtual nodes per server on the hash ring (0 = default)")
+		join      = fs.String("join", "", "node address added to the ring live, mid-run (cluster mode)")
+		joinAfter = fs.Int("join-after", 0, "measured ops completed cluster-wide before the live join starts")
+		joinPage  = fs.Int("join-page", 0, "migration page budget in bytes for the live join (0 = server default)")
+
 		chaos     = fs.String("chaos", "", "netchaos fault spec; route all connections through an in-process fault proxy (e.g. 'latency:d=1ms,p=0.1;reset:p=0.01')")
 		chaosSeed = fs.Uint64("chaos-seed", 1, "fault schedule seed (chaos mode)")
 		oracle    = fs.Bool("oracle", false, "self-certifying values: verify every GET hit against its key-derived expected bytes")
 		opTimeout = fs.Duration("op-timeout", 0, "per-burst deadline (default 2s in chaos mode, none otherwise)")
 		stall     = fs.Int("stall", 0, "silent connections held open for the whole run (slow-loris pressure)")
 
-		equiv    = fs.String("equiv", "", "equivalence mode: workload preset to replay (e.g. canneal)")
-		ways     = fs.Int("ways", 4, "zcache ways (equiv mode)")
-		rows     = fs.Uint64("rows", 1024, "rows per way (equiv mode)")
-		levels   = fs.Int("levels", 2, "walk depth (equiv mode)")
-		policy   = fs.String("policy", "lru", "replacement policy: lru or lru-full (equiv mode)")
-		accesses = fs.Int("accesses", 200000, "trace accesses to replay (equiv mode)")
+		equiv      = fs.String("equiv", "", "equivalence mode: workload preset to replay (e.g. canneal)")
+		equivNodes = fs.Int("equiv-nodes", 0, "replay through an N-node hash ring instead of one store (equiv mode)")
+		ways       = fs.Int("ways", 4, "zcache ways (equiv mode)")
+		rows       = fs.Uint64("rows", 1024, "rows per way (equiv mode)")
+		levels     = fs.Int("levels", 2, "walk depth (equiv mode)")
+		policy     = fs.String("policy", "lru", "replacement policy: lru or lru-full (equiv mode)")
+		accesses   = fs.Int("accesses", 200000, "trace accesses to replay (equiv mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -90,9 +119,11 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "zkvbench: %v\n", err)
 			return 1
 		}
-		rep, err := zkv.ReplayEquivByName(*equiv, zkv.Config{
-			Ways: *ways, Rows: *rows, Levels: *levels, Policy: pol, Seed: *seed,
-		}, *accesses)
+		cfg := zkv.Config{Ways: *ways, Rows: *rows, Levels: *levels, Policy: pol, Seed: *seed}
+		if *equivNodes > 0 {
+			return runClusterEquiv(*equiv, cfg, *equivNodes, *vnodes, *accesses)
+		}
+		rep, err := zkv.ReplayEquivByName(*equiv, cfg, *accesses)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "zkvbench: %v\n", err)
 			return 1
@@ -105,6 +136,17 @@ func run(args []string) int {
 		}
 		fmt.Println("MATCH: zkv and simulator agree bit-for-bit")
 		return 0
+	}
+
+	if *nodes != "" {
+		return runCluster(clusterArgs{
+			nodes: splitNodes(*nodes), topology: *topology, vnodes: *vnodes,
+			join: *join, joinAfter: *joinAfter, joinPage: *joinPage,
+			clients: *clients, ops: *ops, keySpace: *keySpace, valBytes: *valBytes,
+			getFrac: *getFrac, pipeline: *pipeline, seed: *seed,
+			chaos: *chaos, chaosSeed: *chaosSeed, oracle: *oracle, opTimeout: *opTimeout,
+			writers: *writers, stall: *stall,
+		})
 	}
 
 	// Chaos mode: interpose the fault proxy between the clients and the
@@ -179,5 +221,215 @@ func run(args []string) int {
 	case *chaos == "" && (rep.Errors > 0 || rep.WriterErrors > 0):
 		return 2
 	}
+	return 0
+}
+
+func splitNodes(list string) []string {
+	var out []string
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+type clusterArgs struct {
+	nodes               []string
+	topology            string
+	vnodes              int
+	join                string
+	joinAfter, joinPage int
+	clients, ops        int
+	keySpace, valBytes  int
+	getFrac             float64
+	pipeline            int
+	seed                uint64
+	chaos               string
+	chaosSeed           uint64
+	oracle              bool
+	opTimeout           time.Duration
+	writers, stall      int
+}
+
+// runCluster is the -nodes load path: the same measured stream, routed
+// through the consistent-hash ring, with optional R=2 replication and an
+// optional live mid-run join.
+func runCluster(a clusterArgs) int {
+	if a.writers > 0 || a.stall > 0 {
+		fmt.Fprintln(os.Stderr, "zkvbench: -writers and -stall are single-node modes; not valid with -nodes")
+		return 1
+	}
+	replication := 0
+	switch a.topology {
+	case "ring":
+		replication = 1
+	case "replicated":
+		replication = 2
+	default:
+		fmt.Fprintf(os.Stderr, "zkvbench: -topology %q: want ring or replicated\n", a.topology)
+		return 1
+	}
+
+	// Per-node chaos: each node gets its own proxy and a decorrelated
+	// fault schedule, wired in through DialAddr so ring membership keeps
+	// the real names.
+	dial := make(map[string]string)
+	if a.chaos != "" {
+		for i, node := range a.nodes {
+			spec, err := netchaos.ParseSpec(a.chaos, a.chaosSeed+uint64(i))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "zkvbench: -chaos: %v\n", err)
+				return 1
+			}
+			proxy := netchaos.New(node, spec)
+			if err := proxy.Start(""); err != nil {
+				fmt.Fprintf(os.Stderr, "zkvbench: chaos proxy for %s: %v\n", node, err)
+				return 1
+			}
+			defer proxy.Close()
+			dial[node] = proxy.Addr()
+			fmt.Printf("chaos: %s through %s (seed %d)\n", node, proxy.Addr(), a.chaosSeed+uint64(i))
+		}
+		if a.opTimeout == 0 {
+			a.opTimeout = 2 * time.Second
+		}
+	}
+
+	// MaxRetries covers the convenience ops the reshard controller and
+	// read-repair issue (measured ops carry their own retry loop); a shed
+	// MIGRATE during a live join must back off and retry, not abort.
+	ccfg := zcluster.Config{
+		Nodes: a.nodes, VNodes: a.vnodes, Replication: replication,
+		DialAddr: dial, Options: zkvproto.Options{OpTimeout: a.opTimeout, Seed: a.seed, MaxRetries: 8},
+	}
+	if replication == 2 {
+		ccfg.RepairEvery = 64
+	}
+	fmt.Printf("cluster: %d nodes, topology %s, %d vnodes/node\n",
+		len(a.nodes), a.topology, ringVNodes(a.vnodes))
+
+	rep, err := zcluster.RunLoad(zcluster.LoadConfig{
+		Cluster: ccfg, Clients: a.clients, Ops: a.ops, KeySpace: a.keySpace,
+		ValBytes: a.valBytes, GetFrac: a.getFrac, Pipeline: a.pipeline,
+		Seed: a.seed, OpTimeout: a.opTimeout, Oracle: a.oracle,
+		JoinNode: a.join, JoinAfterOps: a.joinAfter, JoinPageBytes: a.joinPage,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zkvbench: %v\n", err)
+		return 2
+	}
+
+	hitRate := 0.0
+	if rep.Gets > 0 {
+		hitRate = float64(rep.Hits) / float64(rep.Gets)
+	}
+	fmt.Printf("%d ops in %s: %.0f ops/s (%d gets, %d sets, hit rate %.3f, %d errors)\n",
+		rep.Ops, rep.Wall.Round(1000000), rep.OpsPerSec, rep.Gets, rep.Sets, hitRate, rep.Errors)
+	fmt.Printf("latency: p50 %s  p99 %s  p999 %s  max %s\n",
+		rep.P50, rep.P99, rep.P999, rep.PMax)
+	for _, node := range sortedNodes(rep.PerNode) {
+		nl := rep.PerNode[node]
+		fmt.Printf("node %s: %d ops  p50 %s  p99 %s  p999 %s  max %s\n",
+			node, nl.Ops, nl.P50, nl.P99, nl.P999, nl.PMax)
+	}
+	classified := rep.Timeouts + rep.Resets + rep.Busys + rep.ProtoErrors
+	if classified+rep.Unclassified+rep.Retried+rep.Reconnects > 0 {
+		fmt.Printf("faults: %d timeouts, %d resets, %d busy, %d protocol, %d unclassified; %d ambiguous mutations, %d ops retried, %d reconnects\n",
+			rep.Timeouts, rep.Resets, rep.Busys, rep.ProtoErrors, rep.Unclassified,
+			rep.Ambiguous, rep.Retried, rep.Reconnects)
+	}
+	if replication == 2 {
+		fmt.Printf("replication: %d replica sets, %d failovers, %d replica errors\n",
+			rep.ReplicaSets, rep.Failovers, rep.ReplicaErrors)
+	}
+	if a.oracle {
+		fmt.Printf("oracle: %d GET hits verified, %d wrong\n", rep.VerifiedGets, rep.WrongGets)
+	}
+	if r := rep.Reshard; r != nil {
+		fmt.Printf("reshard: %s joined — %d arcs, %d entries copied in %d pages (%d bytes), delta %d/%d applied, %d arcs forgotten (%d entries), %d kept as replica\n",
+			r.Node, r.Arcs, r.CopiedEntries, r.CopyPages, r.CopiedBytes,
+			r.DeltaApplied, r.DeltaChecked, r.ForgottenArcs, r.Dropped, r.KeptAsReplica)
+	}
+	printHealth(ccfg, a.join != "" && rep.Reshard != nil, a.join)
+
+	switch {
+	case rep.WrongGets > 0:
+		fmt.Fprintf(os.Stderr, "zkvbench: FAIL: %d wrong GETs (value oracle mismatch)\n", rep.WrongGets)
+		return 2
+	case rep.Unclassified > 0:
+		fmt.Fprintf(os.Stderr, "zkvbench: FAIL: %d unclassified transport errors\n", rep.Unclassified)
+		return 2
+	case a.chaos == "" && rep.Errors > 0:
+		return 2
+	}
+	return 0
+}
+
+func ringVNodes(v int) int {
+	if v == 0 {
+		return zcluster.DefaultVNodes
+	}
+	return v
+}
+
+func sortedNodes[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// printHealth dials each node once more and renders one line per node from
+// its typed STATS — the post-run cluster health view.
+func printHealth(ccfg zcluster.Config, joined bool, joiner string) {
+	if joined {
+		ccfg.Nodes = append(append([]string(nil), ccfg.Nodes...), joiner)
+	}
+	ccfg.Router = nil
+	cl, err := zcluster.New(ccfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zkvbench: health: %v\n", err)
+		return
+	}
+	defer cl.Close()
+	health := cl.Health()
+	for _, node := range sortedNodes(health) {
+		h := health[node]
+		if h.Err != nil {
+			fmt.Printf("health %s: UNREACHABLE (%v)\n", node, h.Err)
+			continue
+		}
+		st := h.Stats
+		fmt.Printf("health %s: %d/%d resident, hit rate %.3f, %d evictions, %d migrated out (%d pages), %d dropped by forget, %d shed\n",
+			node, st.ResidentEntries, st.CapacityEntries, st.HitRate(), st.Evictions,
+			st.MigrateEntries, st.MigratePages, st.ForgetDropped, st.ShedConns+st.ShedRequests)
+	}
+}
+
+// runClusterEquiv is the -equiv-nodes path: the clustered replay of the
+// per-shard equivalence claim.
+func runClusterEquiv(workload string, cfg zkv.Config, nodes, vnodes, accesses int) int {
+	rep, err := zcluster.ReplayEquivByName(workload, cfg, nodes, vnodes, accesses)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zkvbench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("workload %s across %d nodes: %d accesses\n", rep.Workload, rep.Nodes, rep.Accesses)
+	for _, n := range rep.PerNode {
+		verdict := "match"
+		if !n.Match {
+			verdict = "DIVERGED: " + n.Detail
+		}
+		fmt.Printf("node %s: %d accesses, %d hits, %d misses, %d victims — %s\n",
+			n.Node, n.Accesses, n.Hits, n.Misses, n.Victims, verdict)
+	}
+	if !rep.Match {
+		fmt.Printf("DIVERGED: %s\n", rep.Detail)
+		return 2
+	}
+	fmt.Println("MATCH: every node's zkv store and simulator reference agree bit-for-bit")
 	return 0
 }

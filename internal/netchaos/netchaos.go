@@ -196,6 +196,9 @@ func (p *Proxy) pump(src, dst net.Conn, idx uint64, dir int, fwd *atomic.Uint64)
 			fragment := 0 // >0: forward as a split write with this first-fragment size
 			for i := range p.spec.faults {
 				f := &p.spec.faults[i]
+				if f.dir >= 0 && f.dir != dir {
+					continue
+				}
 				if f.times > 0 && fires[i] >= f.times {
 					continue
 				}

@@ -137,6 +137,39 @@ func TestProxyDrop(t *testing.T) {
 	}
 }
 
+// TestProxyAsymmetricDrop blackholes only the server→client direction:
+// the request must still reach the server (its echo pump forwards c2s
+// bytes), but the reply never comes back. That is the asymmetric
+// partition shape — the server is healthy and working, the client can
+// only tell via its deadline.
+func TestProxyAsymmetricDrop(t *testing.T) {
+	p := startProxy(t, startEcho(t), "drop:p=1,dir=s2c", 1)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("one way")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 16)
+	_, err = conn.Read(buf)
+	if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("partitioned read returned %v, want timeout", err)
+	}
+	st := p.Stats()
+	if st.BytesC2S == 0 {
+		t.Fatal("c2s direction was dropped too; dir=s2c must only partition replies")
+	}
+	if st.BytesS2C != 0 {
+		t.Fatalf("s2c forwarded %d bytes through a full partition", st.BytesS2C)
+	}
+	if st.Drops == 0 {
+		t.Fatal("no drops counted")
+	}
+}
+
 func TestProxyPartialDeliversIntact(t *testing.T) {
 	p := startProxy(t, startEcho(t), "partial:p=1,max=3", 1)
 	conn, err := net.Dial("tcp", p.Addr())
@@ -256,6 +289,8 @@ func TestParseSpecErrors(t *testing.T) {
 		"latency:d",           // bare key
 		"latency:d=-5ms",      // negative delay
 		"latency:jitter=-1ms", // negative jitter
+		"drop:dir=up",         // unknown direction
+		"drop:dir=",           // empty direction
 	}
 	for _, spec := range bad {
 		if _, err := ParseSpec(spec, 1); err == nil {
@@ -268,6 +303,7 @@ func TestParseSpecErrors(t *testing.T) {
 		"latency:d=2ms,jitter=5ms,p=0.1",
 		"reset:p=0.01;latency:d=1ms;bandwidth:bps=1048576",
 		"drop:p=0.001,n=1;partial:p=0.2,max=16",
+		"drop:dir=s2c;latency:d=1ms,dir=c2s",
 	}
 	for _, spec := range good {
 		s, err := ParseSpec(spec, 1)

@@ -55,6 +55,7 @@ type faultCfg struct {
 	jitter time.Duration // jitter= latency jitter bound
 	bps    int           // bps= bandwidth cap
 	max    int           // max= partial first-fragment bound (default 8)
+	dir    int           // dir= direction the term applies to (-1 = both)
 }
 
 // Spec is a parsed fault specification. The grammar is the
@@ -66,11 +67,16 @@ type faultCfg struct {
 // with faults latency | bandwidth | drop | reset | partial and keys
 // p (probability, float in (0,1]), n (max fires per connection direction,
 // int), d (latency, Go duration), jitter (latency jitter bound, Go
-// duration), bps (bandwidth cap in bytes/second, int), and max (partial
-// first-fragment size bound, int). Examples:
+// duration), bps (bandwidth cap in bytes/second, int), max (partial
+// first-fragment size bound, int), and dir (c2s or s2c, restricting the
+// term to one direction — omit for both). A one-direction drop is an
+// asymmetric partition: requests still arrive and the server still works,
+// but its replies never come back, which is the failure deadlines exist
+// for. Examples:
 //
 //	latency:d=2ms,jitter=5ms,p=0.1
 //	reset:p=0.01;latency:d=1ms;bandwidth:bps=1048576
+//	drop:dir=s2c,p=0.05
 //
 // Like failpoint.Configure, parsing is atomic: a spec with any invalid
 // term configures nothing.
@@ -89,7 +95,7 @@ func ParseSpec(spec string, seed uint64) (*Spec, error) {
 			continue
 		}
 		name, args, _ := strings.Cut(term, ":")
-		cfg := faultCfg{prob: 1, max: 8}
+		cfg := faultCfg{prob: 1, max: 8, dir: -1}
 		switch name {
 		case "latency":
 			cfg.kind = Latency
@@ -152,6 +158,15 @@ func ParseSpec(spec string, seed uint64) (*Spec, error) {
 						return nil, fmt.Errorf("netchaos: bad fragment bound %q (at least 1)", v)
 					}
 					cfg.max = i
+				case "dir":
+					switch v {
+					case "c2s":
+						cfg.dir = 0
+					case "s2c":
+						cfg.dir = 1
+					default:
+						return nil, fmt.Errorf("netchaos: bad direction %q (want c2s or s2c)", v)
+					}
 				default:
 					return nil, fmt.Errorf("netchaos: unknown arg %q in %q", k, term)
 				}
@@ -198,6 +213,12 @@ func (s *Spec) String() string {
 		}
 		if f.kind == Partial && f.max != 8 {
 			arg("max", strconv.Itoa(f.max))
+		}
+		switch f.dir {
+		case 0:
+			arg("dir", "c2s")
+		case 1:
+			arg("dir", "s2c")
 		}
 	}
 	return b.String()

@@ -1,0 +1,624 @@
+package zcluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zcache/internal/hash"
+	"zcache/internal/zkvproto"
+)
+
+// LoadConfig drives RunLoad, the clustered load generator behind
+// zkvbench -nodes: pipelined mixed GET/SET traffic routed through a shared
+// ring, optionally with R=2 write fan-out, oracle verification, and a
+// mid-run live reshard.
+type LoadConfig struct {
+	// Cluster configures routing and replication. Cluster.Options.Seed and
+	// per-client derivation keep every connection's retry jitter
+	// deterministic; Cluster.Router, if set, is shared with the caller
+	// (zkvbench uses that to watch the flip).
+	Cluster Config
+	// Clients is the number of concurrent measured clients (default 4).
+	// Each owns one pipelined connection per node it talks to.
+	Clients int
+	// Ops is the total measured operation count across clients
+	// (default 100000). Replica writes ride along and are accounted
+	// separately.
+	Ops int
+	// KeySpace is the number of distinct keys (default 65536).
+	KeySpace int
+	// ValBytes is the SET payload size before stamping (default 64).
+	ValBytes int
+	// GetFrac in [0,1] is the fraction of GETs (default 0.9).
+	GetFrac float64
+	// Pipeline is the number of measured requests per burst (default 16).
+	Pipeline int
+	// Seed makes key sequences and backoff jitter reproducible.
+	Seed uint64
+	// OpTimeout bounds each pipelined burst per node. Required under any
+	// blackhole-style chaos, same as the single-node harness.
+	OpTimeout time.Duration
+	// Oracle makes SET payloads self-certifying and verifies every GET
+	// hit; any mismatch counts in WrongGets. Self-certifying payloads are
+	// also what make retries and replica fan-out harmless.
+	Oracle bool
+	// JoinNode, when non-empty, is a node added to the ring *live*, by a
+	// controller goroutine, once JoinAfterOps measured operations have
+	// completed cluster-wide — the reshard-under-load scenario. The load
+	// keeps running through copy, flip, delta, and forget.
+	JoinNode      string
+	JoinAfterOps  int
+	JoinPageBytes int
+}
+
+func (c LoadConfig) withDefaults() (LoadConfig, error) {
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Ops == 0 {
+		c.Ops = 100000
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = 65536
+	}
+	if c.ValBytes == 0 {
+		c.ValBytes = 64
+	}
+	if c.GetFrac == 0 {
+		c.GetFrac = 0.9
+	}
+	if c.GetFrac < 0 || c.GetFrac > 1 {
+		return c, fmt.Errorf("zcluster: get fraction %v outside [0,1]", c.GetFrac)
+	}
+	if c.Pipeline == 0 {
+		c.Pipeline = 16
+	}
+	if c.Clients < 0 || c.Ops < 0 || c.KeySpace < 1 || c.ValBytes < 0 ||
+		c.Pipeline < 1 || c.OpTimeout < 0 || c.JoinAfterOps < 0 {
+		return c, fmt.Errorf("zcluster: invalid load config %+v", c)
+	}
+	return c, nil
+}
+
+// NodeLatency is one node's slice of the measured traffic.
+type NodeLatency struct {
+	Ops                  int
+	P50, P99, P999, PMax time.Duration
+}
+
+// LoadReport is RunLoad's outcome. The scalar fields mirror the
+// single-node zkv.LoadReport so zkvbench renders both the same way; the
+// cluster adds per-node latency, replica accounting, and the reshard
+// report.
+type LoadReport struct {
+	Ops       int
+	Gets      int
+	Sets      int
+	Hits      int
+	Misses    int
+	Errors    int
+	Wall      time.Duration
+	OpsPerSec float64
+
+	P50, P99, P999, PMax time.Duration
+
+	Timeouts, Resets, Busys, ProtoErrors, Unclassified int
+	Ambiguous, Retried, Reconnects                     int
+
+	VerifiedGets, WrongGets int
+
+	// Failovers counts GET attempts rerouted to the key's replica after a
+	// primary-side transport failure.
+	Failovers int
+	// ReplicaSets and ReplicaErrors account the R=2 write fan-out;
+	// excluded from Ops and the percentiles.
+	ReplicaSets, ReplicaErrors int
+
+	// PerNode breaks the measured latencies down by serving node — the
+	// per-node tail view zkvbench prints. Keys are node names.
+	PerNode map[string]NodeLatency
+
+	// Reshard is the mid-run join's report (nil when none was requested).
+	Reshard *ReshardReport
+}
+
+// oracleFill writes the self-certifying payload for key — same pattern
+// generator as the single-node harness, so a value is verifiable by any
+// client that knows the key and size.
+func oracleFill(buf []byte, key uint64) {
+	x := hash.Mix64(key ^ 0x5ca1ab1e0ddba11)
+	for i := range buf {
+		x = x*6364136223846793005 + 1442695040888963407
+		buf[i] = byte(x >> 56)
+	}
+}
+
+// percentile reads the q-quantile from an ascending-sorted latency slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// backoff is the jittered exponential pause before retry n, deterministic
+// in (seed, n).
+func backoff(seed, n uint64) time.Duration {
+	d := 2 * time.Millisecond << min(n, 8)
+	if d > 300*time.Millisecond {
+		d = 300 * time.Millisecond
+	}
+	draw := hash.Mix64(seed ^ (n+1)*0x9e3779b97f4a7c15)
+	frac := float64(draw>>11) / float64(uint64(1)<<53)
+	return time.Duration((0.5 + frac) * float64(d))
+}
+
+const maxConsecutiveRedials = 30
+
+// opRec is one measured operation. tries counts terminalless attempts:
+// a GET whose primary keeps failing alternates to the replica on odd
+// tries (client-side failover), and the record re-enters the backlog
+// verbatim so the workload stays deterministic under faults.
+type opRec struct {
+	get   bool
+	key   uint64
+	tries int
+}
+
+type classCounts struct {
+	timeouts, resets, busys, protoErrs, unclassified int
+	ambiguous, retried, reconnects                   int
+}
+
+func (cc *classCounts) countEvent(class zkvproto.Class) {
+	switch class {
+	case zkvproto.ClassTimeout:
+		cc.timeouts++
+	case zkvproto.ClassReset:
+		cc.resets++
+	case zkvproto.ClassProtocol:
+		cc.protoErrs++
+	default:
+		cc.unclassified++
+	}
+}
+
+// clientResult is one measured client's tally.
+type clientResult struct {
+	gets, sets, hits, misses, errs int
+	verified, wrong                int
+	failovers                      int
+	replicaSets, replicaErrs       int
+	cc                             classCounts
+	lats                           []time.Duration
+	nodeLats                       map[string][]time.Duration
+	err                            error
+}
+
+// RunLoad drives cfg.Ops measured operations through the ring from
+// cfg.Clients concurrent clients, each pipelining per-node bursts, and —
+// when a join is configured — reshards the cluster mid-run. Every
+// generated operation completes with a terminal reply (the completed
+// count is the dropped-request check: it equals Ops or the run errors),
+// faults are classified and retried, and the report carries per-node
+// latency breakdowns.
+func RunLoad(cfg LoadConfig) (LoadReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return LoadReport{}, err
+	}
+	ccfg, err := cfg.Cluster.withDefaults()
+	if err != nil {
+		return LoadReport{}, err
+	}
+	router := ccfg.Router
+	if router == nil {
+		ring, err := NewRing(ccfg.Nodes, ccfg.VNodes)
+		if err != nil {
+			return LoadReport{}, err
+		}
+		router = NewRouter(ring)
+		ccfg.Router = router
+	}
+
+	var completed atomic.Int64
+	results := make([]clientResult, cfg.Clients)
+
+	// The join controller: wait for the op threshold, then drain an arc
+	// set onto the new node while the measured clients keep hammering.
+	var (
+		joinWG     sync.WaitGroup
+		joinRep    *ReshardReport
+		joinErr    error
+		stopJoin   = make(chan struct{})
+		joinOpts   = ccfg
+		joinActive = cfg.JoinNode != ""
+	)
+	if joinActive {
+		joinWG.Add(1)
+		go func() {
+			defer joinWG.Done()
+			for completed.Load() < int64(cfg.JoinAfterOps) {
+				select {
+				case <-stopJoin:
+					return // run ended (or failed) before the threshold
+				case <-time.After(time.Millisecond):
+				}
+			}
+			joinOpts.Options.Seed = hash.Mix64(cfg.Seed ^ 0xc0ffee)
+			ctl, err := New(joinOpts)
+			if err != nil {
+				joinErr = err
+				return
+			}
+			defer ctl.Close()
+			joinRep, joinErr = ctl.AddNode(cfg.JoinNode, ReshardOpts{PageBytes: cfg.JoinPageBytes})
+		}()
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			results[ci] = runClusterClient(cfg, ccfg, router, ci, &completed)
+		}(ci)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(stopJoin)
+	joinWG.Wait()
+
+	rep := LoadReport{Wall: wall, PerNode: make(map[string]NodeLatency)}
+	var lats []time.Duration
+	nodeLats := make(map[string][]time.Duration)
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return rep, fmt.Errorf("zcluster: load client %d: %w", i, r.err)
+		}
+		rep.Gets += r.gets
+		rep.Sets += r.sets
+		rep.Hits += r.hits
+		rep.Misses += r.misses
+		rep.Errors += r.errs
+		rep.VerifiedGets += r.verified
+		rep.WrongGets += r.wrong
+		rep.Failovers += r.failovers
+		rep.ReplicaSets += r.replicaSets
+		rep.ReplicaErrors += r.replicaErrs
+		rep.Timeouts += r.cc.timeouts
+		rep.Resets += r.cc.resets
+		rep.Busys += r.cc.busys
+		rep.ProtoErrors += r.cc.protoErrs
+		rep.Unclassified += r.cc.unclassified
+		rep.Ambiguous += r.cc.ambiguous
+		rep.Retried += r.cc.retried
+		rep.Reconnects += r.cc.reconnects
+		lats = append(lats, r.lats...)
+		for node, ls := range r.nodeLats {
+			nodeLats[node] = append(nodeLats[node], ls...)
+		}
+	}
+	rep.Ops = rep.Gets + rep.Sets
+	if wall > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / wall.Seconds()
+	}
+	if len(lats) > 0 {
+		slices.Sort(lats)
+		rep.P50 = percentile(lats, 0.50)
+		rep.P99 = percentile(lats, 0.99)
+		rep.P999 = percentile(lats, 0.999)
+		rep.PMax = lats[len(lats)-1]
+	}
+	for node, ls := range nodeLats {
+		slices.Sort(ls)
+		rep.PerNode[node] = NodeLatency{
+			Ops: len(ls),
+			P50: percentile(ls, 0.50), P99: percentile(ls, 0.99),
+			P999: percentile(ls, 0.999), PMax: ls[len(ls)-1],
+		}
+	}
+	if joinActive {
+		rep.Reshard = joinRep
+		if joinErr != nil {
+			return rep, fmt.Errorf("zcluster: mid-run join: %w", joinErr)
+		}
+		if joinRep == nil {
+			return rep, fmt.Errorf("zcluster: run finished before the join threshold (%d ops) was reached", cfg.JoinAfterOps)
+		}
+	}
+	if rep.Ops != cfg.Ops {
+		// The in-flight guarantee: every generated op reached a terminal
+		// reply despite faults, failovers, and the routing flip.
+		return rep, fmt.Errorf("zcluster: completed %d of %d ops", rep.Ops, cfg.Ops)
+	}
+	return rep, nil
+}
+
+// nodeConns is one client's lazily-dialed connection set, keyed by node.
+type nodeConns struct {
+	ccfg  Config
+	seed  uint64
+	conns map[string]*zkvproto.Client
+}
+
+func (nc *nodeConns) get(node string) (*zkvproto.Client, error) {
+	if cl, ok := nc.conns[node]; ok {
+		return cl, nil
+	}
+	opts := nc.ccfg.Options
+	opts.Seed = hash.Mix64(nc.seed ^ hash.Bytes64([]byte(node)))
+	addr := node
+	if a, ok := nc.ccfg.DialAddr[node]; ok {
+		addr = a
+	}
+	cl, err := zkvproto.DialOptions(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	nc.conns[node] = cl
+	return cl, nil
+}
+
+func (nc *nodeConns) closeAll() {
+	for _, cl := range nc.conns {
+		cl.Close()
+	}
+}
+
+// qop is one queued request awaiting its reply on some node's pipe.
+type qop struct {
+	op      opRec
+	at      time.Time
+	replica bool // an R=2 fan-out SET: unmeasured redundancy
+}
+
+// runClusterClient is one measured client's whole life. Each burst is
+// routed through the router's *current* ring — so a mid-run flip simply
+// changes where the next burst goes — partitioned into per-node pipelines,
+// flushed, and drained. A node whose pipe fails gets its unanswered
+// measured ops re-queued (GETs alternating onto the replica when
+// replication allows) while other nodes' replies still count.
+func runClusterClient(cfg LoadConfig, ccfg Config, router *Router, ci int, completed *atomic.Int64) (res clientResult) {
+	rng := hash.Mix64(cfg.Seed ^ (uint64(ci)+1)*0x9e3779b97f4a7c15)
+	jitterSeed := rng
+	nc := &nodeConns{ccfg: ccfg, seed: jitterSeed, conns: make(map[string]*zkvproto.Client)}
+	defer nc.closeAll()
+	res.nodeLats = make(map[string][]time.Duration)
+
+	ops := cfg.Ops / cfg.Clients
+	if ci < cfg.Ops%cfg.Clients {
+		ops++
+	}
+	getCut := uint64(cfg.GetFrac * 65536)
+	// Disjoint stamp ranges per client keep cross-client versions from
+	// colliding; the payload is key-derived either way.
+	version := ccfg.StampBase + (uint64(ci)+1)<<40
+	key := make([]byte, 8)
+	val := make([]byte, cfg.ValBytes)
+	expect := make([]byte, cfg.ValBytes)
+	env := make([]byte, 0, cfg.ValBytes+zkvproto.StampLen)
+	var backlog []opRec
+	res.lats = make([]time.Duration, 0, ops)
+	pending := make(map[string][]qop)
+	generated, done, redials := 0, 0, 0
+	consecFails := 0
+
+	// requeue sends every unanswered measured op from a dead node's pipe
+	// back through the backlog and reconnects that node's pipe, pacing
+	// consecutive failures. Returns false when the node stays unreachable
+	// past the redial budget.
+	requeue := func(node string, from int, err error) bool {
+		res.cc.countEvent(zkvproto.Classify(err))
+		for _, q := range pending[node][from:] {
+			if q.replica {
+				res.replicaErrs++
+				continue
+			}
+			if !q.op.get {
+				res.cc.ambiguous++
+			}
+			res.cc.retried++
+			q.op.tries++
+			backlog = append(backlog, q.op)
+		}
+		pending[node] = pending[node][:0]
+		consecFails++
+		if consecFails > 1 {
+			time.Sleep(backoff(jitterSeed^0xf00d, uint64(consecFails-1)))
+		}
+		cl, ok := nc.conns[node]
+		if !ok {
+			return true // never dialed; next use re-dials
+		}
+		for {
+			if err := cl.Reconnect(); err == nil {
+				res.cc.reconnects++
+				redials = 0
+				return true
+			}
+			redials++
+			if redials >= maxConsecutiveRedials {
+				res.err = fmt.Errorf("node %s unreachable after %d redials: %w", node, redials, err)
+				return false
+			}
+			time.Sleep(backoff(jitterSeed, uint64(redials)))
+		}
+	}
+
+	for done < ops {
+		// Assemble the burst: clipped ops first, fresh after.
+		burst := make([]opRec, 0, cfg.Pipeline)
+		for len(burst) < cfg.Pipeline && len(backlog) > 0 {
+			burst = append(burst, backlog[len(backlog)-1])
+			backlog = backlog[:len(backlog)-1]
+		}
+		for len(burst) < cfg.Pipeline && generated < ops {
+			rng ^= rng >> 12
+			rng ^= rng << 25
+			rng ^= rng >> 27
+			draw := rng * 0x2545f4914f6cdd1d
+			burst = append(burst, opRec{get: draw>>48&0xffff < getCut, key: draw % uint64(cfg.KeySpace)})
+			generated++
+		}
+
+		// Partition by node under the current ring and queue the frames.
+		ring := router.Ring()
+		for node := range pending {
+			pending[node] = pending[node][:0]
+		}
+		failed := make(map[string]bool)
+		for _, op := range burst {
+			binary.BigEndian.PutUint64(key, op.key)
+			pri, rep := ring.PrimaryReplica(PointOf(key))
+			r2 := ccfg.Replication == 2 && rep != pri
+			node := pri
+			if op.get && r2 && op.tries%2 == 1 {
+				// Failover: this GET's primary already ate an attempt.
+				node = rep
+				res.failovers++
+			}
+			if failed[node] {
+				op.tries++
+				res.cc.retried++
+				backlog = append(backlog, op)
+				continue
+			}
+			cl, err := nc.get(node)
+			if err == nil {
+				if cfg.OpTimeout > 0 && len(pending[node]) == 0 {
+					cl.SetDeadline(time.Now().Add(cfg.OpTimeout))
+				}
+				if op.get {
+					err = cl.QueueGet(key)
+				} else {
+					if cfg.Oracle {
+						oracleFill(val, op.key)
+					}
+					version++
+					env = zkvproto.AppendStamped(env[:0], version, val)
+					err = cl.QueueSet(key, env)
+				}
+			}
+			if err != nil {
+				failed[node] = true
+				if !requeue(node, 0, err) {
+					return res
+				}
+				op.tries++
+				res.cc.retried++
+				if !op.get {
+					res.cc.ambiguous++
+				}
+				backlog = append(backlog, op)
+				continue
+			}
+			pending[node] = append(pending[node], qop{op: op, at: time.Now()})
+			// R=2 write fan-out rides the same burst on the replica's pipe.
+			if !op.get && r2 && !failed[rep] {
+				if rcl, rerr := nc.get(rep); rerr != nil {
+					res.replicaErrs++
+				} else {
+					if cfg.OpTimeout > 0 && len(pending[rep]) == 0 {
+						rcl.SetDeadline(time.Now().Add(cfg.OpTimeout))
+					}
+					if rerr := rcl.QueueSet(key, env); rerr != nil {
+						failed[rep] = true
+						if !requeue(rep, 0, rerr) {
+							return res
+						}
+					} else {
+						pending[rep] = append(pending[rep], qop{op: op, at: time.Now(), replica: true})
+					}
+				}
+			}
+		}
+
+		// Flush, then drain each node's pipe in queue order.
+		burstOK := true
+		for node, q := range pending {
+			if len(q) == 0 || failed[node] {
+				continue
+			}
+			cl, _ := nc.get(node)
+			if err := cl.Flush(); err != nil {
+				failed[node] = true
+				burstOK = false
+				if !requeue(node, 0, err) {
+					return res
+				}
+			}
+		}
+		for node, q := range pending {
+			if len(q) == 0 || failed[node] {
+				continue
+			}
+			cl, _ := nc.get(node)
+			for qi := range q {
+				resp, err := cl.ReadReply()
+				if err != nil {
+					failed[node] = true
+					burstOK = false
+					if !requeue(node, qi, err) {
+						return res
+					}
+					break
+				}
+				rec := q[qi]
+				if rec.replica {
+					switch resp.Status {
+					case zkvproto.StatusOK:
+						res.replicaSets++
+					default:
+						res.replicaErrs++
+					}
+					continue
+				}
+				if resp.Status == zkvproto.StatusBusy {
+					res.cc.busys++
+					res.cc.retried++
+					rec.op.tries++
+					backlog = append(backlog, rec.op)
+					continue
+				}
+				lat := time.Since(rec.at)
+				res.lats = append(res.lats, lat)
+				res.nodeLats[node] = append(res.nodeLats[node], lat)
+				done++
+				completed.Add(1)
+				switch {
+				case rec.op.get && resp.Status == zkvproto.StatusOK:
+					res.gets++
+					res.hits++
+					if cfg.Oracle {
+						oracleFill(expect, rec.op.key)
+						_, payload := versionOf(resp.Val)
+						if bytes.Equal(payload, expect) {
+							res.verified++
+						} else {
+							res.wrong++
+						}
+					}
+				case rec.op.get && resp.Status == zkvproto.StatusNotFound:
+					res.gets++
+					res.misses++
+				case !rec.op.get && resp.Status == zkvproto.StatusOK:
+					res.sets++
+				default:
+					res.errs++
+				}
+			}
+		}
+		if burstOK {
+			consecFails = 0
+		}
+	}
+	return res
+}

@@ -49,37 +49,14 @@ func ReplayEquiv(w workloads.Workload, cfg Config, accesses int) (EquivReport, e
 		return rep, err
 	}
 
-	// Reference engine: the simulator's L2-bank construction (H3 family,
-	// ZCache array, paper policy, cache.Cache controller) over the same
-	// seed derivation a one-shard store uses.
-	fns, err := (hash.H3Family{Seed: shardSeed(cfg.Seed, 0)}).New(cfg.Ways, cfg.Rows)
-	if err != nil {
-		return rep, err
-	}
-	arr, err := cache.NewZCache(cfg.Rows, fns, cfg.Levels)
-	if err != nil {
-		return rep, err
-	}
-	var pol repl.Policy
-	switch cfg.Policy {
-	case PolicyBucketedLRU:
-		pol, err = repl.PaperBucketedLRU(arr.Blocks())
-	case PolicyFullLRU:
-		pol, err = repl.NewLRU(arr.Blocks())
-	default:
-		err = fmt.Errorf("zkv: unknown policy %v", cfg.Policy)
-	}
-	if err != nil {
-		return rep, err
-	}
-	ref, err := cache.New(arr, pol, 0)
+	ref, err := NewRefCache(cfg)
 	if err != nil {
 		return rep, err
 	}
 
 	var refVictims, kvVictims []uint64
 	ref.OnEviction = func(addr uint64, dirty bool) { refVictims = append(refVictims, addr) }
-	store.setEvictHook(func(shard int, line uint64) { kvVictims = append(kvVictims, line) })
+	store.SetEvictHook(func(shard int, line uint64) { kvVictims = append(kvVictims, line) })
 
 	// One core, footprints anchored to the store capacity so the workload
 	// presets stress eviction the way they stress a simulated L2.
@@ -162,6 +139,38 @@ func ReplayEquiv(w workloads.Workload, cfg Config, accesses int) (EquivReport, e
 		}
 	}
 	return rep, nil
+}
+
+// NewRefCache builds the simulator-equivalent reference engine for a
+// one-shard store with cfg (zero fields defaulted): the simulator's L2-bank
+// construction — H3 family, ZCache array, paper policy, cache.Cache
+// controller — over the same seed derivation shard 0 of the store uses.
+// Feeding it key fingerprints as line addresses reproduces the store's
+// eviction decisions bit-for-bit; both equivalence harnesses build their
+// references through this.
+func NewRefCache(cfg Config) (*cache.Cache, error) {
+	cfg = cfg.withDefaults()
+	fns, err := (hash.H3Family{Seed: shardSeed(cfg.Seed, 0)}).New(cfg.Ways, cfg.Rows)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := cache.NewZCache(cfg.Rows, fns, cfg.Levels)
+	if err != nil {
+		return nil, err
+	}
+	var pol repl.Policy
+	switch cfg.Policy {
+	case PolicyBucketedLRU:
+		pol, err = repl.PaperBucketedLRU(arr.Blocks())
+	case PolicyFullLRU:
+		pol, err = repl.NewLRU(arr.Blocks())
+	default:
+		err = fmt.Errorf("zkv: unknown policy %v", cfg.Policy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cache.New(arr, pol, 0)
 }
 
 // ReplayEquivByName resolves a workload preset by name and replays it.

@@ -1,0 +1,253 @@
+package zkv
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"zcache/internal/hash"
+	"zcache/internal/zkvproto"
+)
+
+// fillResident inserts n keys and returns the ones actually resident
+// afterwards (insertion itself can evict under pressure), keyed by string.
+func fillResident(t *testing.T, s *Store, n int) map[string][]byte {
+	t.Helper()
+	resident := make(map[string][]byte)
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("range-key-%05d", i))
+		val := []byte(fmt.Sprintf("value-%05d", i))
+		if err := s.Set(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("range-key-%05d", i))
+		if v, ok := s.Get(key, nil); ok {
+			resident[string(key)] = v
+		}
+	}
+	return resident
+}
+
+// TestMigrateRangePagination: a full-circle paged scan returns every
+// resident entry exactly once — no duplicates, no gaps — regardless of
+// page size.
+func TestMigrateRangePagination(t *testing.T) {
+	s, err := Open(Config{Shards: 2, Ways: 4, Rows: 256, Levels: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resident := fillResident(t, s, 1000)
+
+	for _, pageBytes := range []int{128, 1 << 10, 1 << 20} {
+		seen := make(map[string][]byte)
+		var cursor uint64
+		pages := 0
+		for {
+			buf, next, count := s.MigrateRange(0, 0, cursor, pageBytes, nil)
+			pages++
+			rest := buf
+			for i := 0; i < count; i++ {
+				var e zkvproto.MigrateEntry
+				var err error
+				e, rest, err = decodeOneEntry(rest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, dup := seen[string(e.Key)]; dup {
+					t.Fatalf("page size %d: key %q returned twice", pageBytes, e.Key)
+				}
+				seen[string(e.Key)] = e.Val
+			}
+			if len(rest) != 0 {
+				t.Fatalf("page size %d: %d stray bytes after %d entries", pageBytes, len(rest), count)
+			}
+			if next == 0 {
+				break
+			}
+			if next <= cursor {
+				t.Fatalf("cursor did not advance: %d -> %d", cursor, next)
+			}
+			cursor = next
+		}
+		if len(seen) != len(resident) {
+			t.Fatalf("page size %d: scan returned %d entries, store holds %d", pageBytes, len(seen), len(resident))
+		}
+		for k, v := range resident {
+			if got, ok := seen[k]; !ok || !bytes.Equal(got, v) {
+				t.Fatalf("page size %d: key %q missing or wrong", pageBytes, k)
+			}
+		}
+		if pageBytes == 128 && pages < 10 {
+			t.Fatalf("128-byte pages produced only %d pages; budget not honored", pages)
+		}
+	}
+}
+
+// TestMigrateRangeArc: an arc scan returns exactly the resident keys whose
+// ring point falls in the arc.
+func TestMigrateRangeArc(t *testing.T) {
+	s, err := Open(Config{Shards: 2, Ways: 4, Rows: 256, Levels: 2, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resident := fillResident(t, s, 800)
+
+	const start, end = uint64(1) << 62, uint64(3) << 62
+	want := make(map[string]bool)
+	for k := range resident {
+		if zkvproto.InArc(zkvproto.RingPoint(hash.Bytes64([]byte(k))), start, end) {
+			want[k] = true
+		}
+	}
+	if len(want) == 0 || len(want) == len(resident) {
+		t.Fatalf("arc selects %d of %d keys; test is vacuous", len(want), len(resident))
+	}
+
+	got := make(map[string]bool)
+	var cursor uint64
+	for {
+		buf, next, count := s.MigrateRange(start, end, cursor, 1<<20, nil)
+		rest := buf
+		for i := 0; i < count; i++ {
+			var e zkvproto.MigrateEntry
+			var err error
+			e, rest, err = decodeOneEntry(rest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[string(e.Key)] = true
+		}
+		if next == 0 {
+			break
+		}
+		cursor = next
+	}
+	if len(got) != len(want) {
+		t.Fatalf("arc scan returned %d keys, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("arc scan missed %q", k)
+		}
+	}
+}
+
+// TestForgetRange: drops exactly the arc's resident keys, bypasses the
+// evict hook and eviction counters, and leaves the rest untouched.
+func TestForgetRange(t *testing.T) {
+	s, err := Open(Config{Shards: 2, Ways: 4, Rows: 256, Levels: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hookFired := 0
+	s.SetEvictHook(func(shard int, line uint64) { hookFired++ })
+	resident := fillResident(t, s, 800)
+	hookBefore, evictBefore := hookFired, s.Stats().Evictions
+
+	const start, end = uint64(1) << 62, uint64(3) << 62
+	inArc := func(k string) bool {
+		return zkvproto.InArc(zkvproto.RingPoint(hash.Bytes64([]byte(k))), start, end)
+	}
+	want := 0
+	for k := range resident {
+		if inArc(k) {
+			want++
+		}
+	}
+
+	lenBefore := s.Len()
+	dropped := s.ForgetRange(start, end)
+	if dropped != want {
+		t.Fatalf("dropped %d, want %d", dropped, want)
+	}
+	if got := s.Len(); got != lenBefore-dropped {
+		t.Fatalf("Len %d after forget, want %d", got, lenBefore-dropped)
+	}
+	if hookFired != hookBefore {
+		t.Fatal("forget drops fired the evict hook")
+	}
+	if got := s.Stats().Evictions; got != evictBefore {
+		t.Fatalf("forget drops counted as evictions (%d -> %d)", evictBefore, got)
+	}
+	for k, v := range resident {
+		got, ok := s.Get([]byte(k), nil)
+		if inArc(k) && ok {
+			t.Fatalf("forgotten key %q still resident", k)
+		}
+		if !inArc(k) && (!ok || !bytes.Equal(got, v)) {
+			t.Fatalf("unrelated key %q damaged by forget", k)
+		}
+	}
+
+	// Idempotence: a second forget finds nothing.
+	if again := s.ForgetRange(start, end); again != 0 {
+		t.Fatalf("second forget dropped %d", again)
+	}
+	// Checkpoint on a memory-only store is trivially clean.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+}
+
+// TestServerMigrationDisabled: the -no-migrate escape hatch refuses both
+// verbs at the protocol level.
+func TestServerMigrationDisabled(t *testing.T) {
+	srv, addr, errc := startServer(t, ServerConfig{DisableMigration: true})
+	defer shutdownServer(t, srv, errc)
+	cl, err := zkvproto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.Migrate(zkvproto.MigrateReq{}); err == nil {
+		t.Fatal("MIGRATE succeeded with migration disabled")
+	}
+	if _, err := cl.Forget(zkvproto.ForgetReq{}); err == nil {
+		t.Fatal("FORGET succeeded with migration disabled")
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("serving path damaged: %v", err)
+	}
+}
+
+// decodeOneEntry peels one wire-encoded migrate entry off buf (test-side
+// mirror of the page decoder, without the page header).
+func decodeOneEntry(buf []byte) (zkvproto.MigrateEntry, []byte, error) {
+	page := zkvproto.BeginMigratePage(nil)
+	page = append(page, buf...)
+	zkvproto.PatchMigratePage(page, 0, 0, 1)
+	_, entries, err := decodePrefix(page)
+	if err != nil {
+		return zkvproto.MigrateEntry{}, nil, err
+	}
+	e := entries[0]
+	consumed := zkvproto.MigrateEntrySize(len(e.Key), len(e.Val))
+	return e, buf[consumed:], nil
+}
+
+// decodePrefix decodes a page that may carry fewer entries than its byte
+// tail suggests (DecodeMigratePage rejects trailing bytes; re-frame with
+// just the first entry's bytes).
+func decodePrefix(page []byte) (uint64, []zkvproto.MigrateEntry, error) {
+	next, entries, err := zkvproto.DecodeMigratePage(page)
+	if err == nil {
+		return next, entries, nil
+	}
+	// Trailing bytes beyond entry 1: shrink to the first entry's frame.
+	const hdr = 12
+	if len(page) < hdr+6 {
+		return 0, nil, err
+	}
+	klen := int(page[hdr])<<8 | int(page[hdr+1])
+	vlen := int(page[hdr+2])<<24 | int(page[hdr+3])<<16 | int(page[hdr+4])<<8 | int(page[hdr+5])
+	end := hdr + 6 + klen + vlen
+	if end > len(page) {
+		return 0, nil, err
+	}
+	return zkvproto.DecodeMigratePage(page[:end])
+}

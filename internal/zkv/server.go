@@ -3,6 +3,7 @@ package zkv
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -50,6 +51,15 @@ type ServerConfig struct {
 	// StatusBusy without touching the store; the shed contract
 	// guarantees they were not executed, so clients retry them safely.
 	MaxPipeline int
+	// DisableMigration rejects the cluster resharding verbs (MIGRATE,
+	// FORGET) with StatusErr. Off by default: a standalone zcached answers
+	// them too — they only read or drop data the caller could reach with
+	// GET/DEL anyway.
+	DisableMigration bool
+	// MigratePageBytes caps one MIGRATE response page's entry bytes
+	// (default 256KiB; always clamped under the protocol frame limit).
+	// Clients may ask for less per page, never more.
+	MigratePageBytes int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -86,6 +96,12 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	case c.MaxPipeline < 0:
 		c.MaxPipeline = 0
 	}
+	if c.MigratePageBytes <= 0 {
+		c.MigratePageBytes = 256 << 10
+	}
+	if c.MigratePageBytes > zkvproto.MaxValLen-64 {
+		c.MigratePageBytes = zkvproto.MaxValLen - 64
+	}
 	return c
 }
 
@@ -117,6 +133,12 @@ type Server struct {
 	connsTotal    atomic.Uint64
 	requestsTotal atomic.Uint64
 	protoErrors   atomic.Uint64
+
+	migratePages   atomic.Uint64 // MIGRATE pages served
+	migrateEntries atomic.Uint64 // entries streamed across all MIGRATE pages
+	migrateBytes   atomic.Uint64 // page bytes streamed
+	forgets        atomic.Uint64 // FORGET requests executed
+	forgetDropped  atomic.Uint64 // entries dropped by FORGET
 
 	shedConns    atomic.Uint64 // connections refused with StatusBusy (pool full)
 	shedRequests atomic.Uint64 // requests answered StatusBusy (pipeline depth)
@@ -404,6 +426,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			case zkvproto.OpPing:
 				resp.Status = zkvproto.StatusOK
 				resp.Val = resp.Val[:0]
+			case zkvproto.OpMigrate:
+				s.serveMigrate(&req, &resp)
+			case zkvproto.OpForget:
+				s.serveForget(&req, &resp)
 			}
 		}
 		if s.cfg.WriteTimeout > 0 {
@@ -429,6 +455,60 @@ func (s *Server) serveConn(conn net.Conn) {
 			depth = 0
 		}
 	}
+}
+
+// serveMigrate answers one page of a resharding range scan. The page is
+// built straight into the response buffer: header reserved, entries appended
+// under the store's per-shard locks, header patched with the resume cursor.
+func (s *Server) serveMigrate(req *zkvproto.Request, resp *zkvproto.Response) {
+	if s.cfg.DisableMigration {
+		resp.Status = zkvproto.StatusErr
+		resp.Val = append(resp.Val[:0], "migration disabled"...)
+		return
+	}
+	mreq, err := zkvproto.ParseMigrateReq(req.Key)
+	if err != nil {
+		resp.Status = zkvproto.StatusErr
+		resp.Val = append(resp.Val[:0], err.Error()...)
+		return
+	}
+	maxBytes := s.cfg.MigratePageBytes
+	if mreq.MaxBytes > 0 && int(mreq.MaxBytes) < maxBytes {
+		maxBytes = int(mreq.MaxBytes)
+	}
+	page := zkvproto.BeginMigratePage(resp.Val[:0])
+	page, next, count := s.store.MigrateRange(mreq.Start, mreq.End, mreq.Cursor, maxBytes, page)
+	zkvproto.PatchMigratePage(page, 0, next, uint32(count))
+	resp.Status = zkvproto.StatusOK
+	resp.Val = page
+	s.migratePages.Add(1)
+	s.migrateEntries.Add(uint64(count))
+	s.migrateBytes.Add(uint64(len(page)))
+}
+
+// serveForget drops an arc's entries and clean-marks the persistent shard
+// mirrors, so the on-disk image a crash would restore reflects the handoff.
+func (s *Server) serveForget(req *zkvproto.Request, resp *zkvproto.Response) {
+	if s.cfg.DisableMigration {
+		resp.Status = zkvproto.StatusErr
+		resp.Val = append(resp.Val[:0], "migration disabled"...)
+		return
+	}
+	freq, err := zkvproto.ParseForgetReq(req.Key)
+	if err != nil {
+		resp.Status = zkvproto.StatusErr
+		resp.Val = append(resp.Val[:0], err.Error()...)
+		return
+	}
+	dropped := s.store.ForgetRange(freq.Start, freq.End)
+	// Best effort: a checkpoint fault detaches the mirror (standard rebuild
+	// signal) but the forget itself succeeded.
+	s.store.Checkpoint()
+	s.forgets.Add(1)
+	s.forgetDropped.Add(uint64(dropped))
+	resp.Status = zkvproto.StatusOK
+	resp.Val = append(resp.Val[:0], make([]byte, 8)...)
+	binary.BigEndian.PutUint64(resp.Val, uint64(dropped))
 }
 
 // protoError returns a short message for protocol-level decode failures
@@ -499,6 +579,11 @@ func (s *Server) appendMetrics(dst []byte) []byte {
 		ready = 1
 	}
 	line("zkv_ready", ready)
+	line("zkv_migrate_pages_total", s.migratePages.Load())
+	line("zkv_migrate_entries_total", s.migrateEntries.Load())
+	line("zkv_migrate_bytes_total", s.migrateBytes.Load())
+	line("zkv_forgets_total", s.forgets.Load())
+	line("zkv_forget_dropped_total", s.forgetDropped.Load())
 	line("zkv_shed_conns_total", s.shedConns.Load())
 	line("zkv_shed_requests_total", s.shedRequests.Load())
 	line("zkv_deadline_idle_closes_total", s.idleCloses.Load())

@@ -261,10 +261,11 @@ func (s *Store) Len() int {
 	return n
 }
 
-// setEvictHook attaches fn to every shard's demand evictions (the evicted
-// entry's fingerprint). The equivalence harness uses it to capture victim
-// sequences; it is not part of the public API.
-func (s *Store) setEvictHook(fn func(shard int, line uint64)) {
+// SetEvictHook attaches fn to every shard's demand evictions (the evicted
+// entry's fingerprint). The equivalence harnesses — zkv's own and the
+// clustered one in internal/zcluster — use it to capture victim sequences;
+// serving paths leave it nil.
+func (s *Store) SetEvictHook(fn func(shard int, line uint64)) {
 	for _, sh := range s.shards {
 		sh.evictHook = fn
 	}

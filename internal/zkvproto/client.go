@@ -2,6 +2,7 @@ package zkvproto
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -235,7 +236,10 @@ func (c *Client) do(opName string, op byte, key, val []byte) (*Response, error) 
 		return nil, &OpError{Op: opName, Class: ClassProtocol,
 			Err: fmt.Errorf("%d pipelined replies outstanding; drain ReadReply first", c.pending)}
 	}
-	idempotent := op == OpGet || op == OpPing || op == OpStats
+	// MIGRATE is a read; FORGET drops an arc, and dropping an already-
+	// dropped arc is a no-op — both retry safely.
+	idempotent := op == OpGet || op == OpPing || op == OpStats ||
+		op == OpMigrate || op == OpForget
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -341,6 +345,39 @@ func (c *Client) Stats() (string, error) {
 		return "", serverErr("STATS", resp)
 	}
 	return string(resp.Val), nil
+}
+
+// Migrate requests one page of the resharding scan over the arc
+// (start, end] in ring-point space. It returns the cursor for the next page
+// (0 = scan complete) and the page's entries (copies, caller-owned).
+func (c *Client) Migrate(req MigrateReq) (next uint64, entries []MigrateEntry, err error) {
+	key := AppendMigrateReq(nil, req)
+	resp, err := c.do("MIGRATE", OpMigrate, key, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if resp.Status != StatusOK {
+		return 0, nil, serverErr("MIGRATE", resp)
+	}
+	return DecodeMigratePage(resp.Val)
+}
+
+// Forget drops every resident entry in the arc (start, end] on the server,
+// returning how many were dropped.
+func (c *Client) Forget(req ForgetReq) (dropped uint64, err error) {
+	key := AppendForgetReq(nil, req)
+	resp, err := c.do("FORGET", OpForget, key, nil)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != StatusOK {
+		return 0, serverErr("FORGET", resp)
+	}
+	if len(resp.Val) != 8 {
+		return 0, &OpError{Op: "FORGET", Class: ClassProtocol,
+			Err: fmt.Errorf("%w: FORGET reply %d bytes", ErrBadFrame, len(resp.Val))}
+	}
+	return binary.BigEndian.Uint64(resp.Val), nil
 }
 
 // serverErr wraps a StatusErr reply as a protocol-class OpError.

@@ -1,0 +1,219 @@
+package zkvproto
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"zcache/internal/hash"
+)
+
+// The cluster resharding wire contract. A key's position on the consistent-
+// hash ring is its ring point — a fixed mix of its Bytes64 fingerprint —
+// and a MIGRATE request names a half-open arc of that ring plus a scan
+// cursor. The server answers with a page of resident entries whose points
+// fall inside the arc, and a next-cursor so the caller can stream a large
+// range in bounded pages while the server keeps serving. FORGET drops an
+// arc's entries after the handoff completes.
+//
+// Ring points, not raw fingerprints, are the range coordinate so that the
+// client's ring placement and the server's range scan agree by construction:
+// both sides compute the same pure function of the key fingerprint.
+
+// ringPointSalt decorrelates ring placement from the fingerprint bits the
+// per-way H3 functions and the shard selector consume.
+const ringPointSalt = 0x7a636c7573746572 // "zcluster"
+
+// RingPoint maps a key fingerprint (hash.Bytes64 of the key) to its position
+// on the cluster hash ring. Both the client-side ring and the server-side
+// MIGRATE/FORGET range scans use this exact function.
+func RingPoint(fp uint64) uint64 { return hash.Mix64(fp ^ ringPointSalt) }
+
+// InArc reports whether point p lies on the half-open arc (start, end],
+// walking clockwise (increasing, wrapping) from start. start == end denotes
+// the full circle — the arc a single-vnode ring owns.
+func InArc(p, start, end uint64) bool {
+	if start == end {
+		return true
+	}
+	if start < end {
+		return p > start && p <= end
+	}
+	return p > start || p <= end
+}
+
+// Wire sizes of the fixed request blobs (carried as the frame key).
+const (
+	MigrateReqLen = 28 // start u64 | end u64 | cursor u64 | maxBytes u32
+	ForgetReqLen  = 16 // start u64 | end u64
+
+	migratePageHdrLen = 12 // next u64 | count u32
+	migrateEntryHdr   = 6  // klen u16 | vlen u32
+)
+
+// MigrateReq asks for one page of a range migration scan.
+type MigrateReq struct {
+	// Start and End bound the arc (Start, End] in ring-point space.
+	Start, End uint64
+	// Cursor is the opaque scan position: 0 starts a scan, and each page
+	// returns the cursor for the next. The scan is a slot sweep, so entries
+	// relocated by concurrent writes may be missed or repeated — the drain
+	// controller's delta pass and version stamps absorb both.
+	Cursor uint64
+	// MaxBytes softly bounds the page's entry bytes; the server clamps it
+	// to its own limit and always makes progress (at least one entry per
+	// page while any remain).
+	MaxBytes uint32
+}
+
+// AppendMigrateReq encodes r as a request key.
+func AppendMigrateReq(dst []byte, r MigrateReq) []byte {
+	var b [MigrateReqLen]byte
+	binary.BigEndian.PutUint64(b[0:8], r.Start)
+	binary.BigEndian.PutUint64(b[8:16], r.End)
+	binary.BigEndian.PutUint64(b[16:24], r.Cursor)
+	binary.BigEndian.PutUint32(b[24:28], r.MaxBytes)
+	return append(dst, b[:]...)
+}
+
+// ParseMigrateReq decodes a MIGRATE request key.
+func ParseMigrateReq(key []byte) (MigrateReq, error) {
+	if len(key) != MigrateReqLen {
+		return MigrateReq{}, fmt.Errorf("%w: MIGRATE request %d bytes", ErrBadFrame, len(key))
+	}
+	return MigrateReq{
+		Start:    binary.BigEndian.Uint64(key[0:8]),
+		End:      binary.BigEndian.Uint64(key[8:16]),
+		Cursor:   binary.BigEndian.Uint64(key[16:24]),
+		MaxBytes: binary.BigEndian.Uint32(key[24:28]),
+	}, nil
+}
+
+// ForgetReq asks the server to drop every resident entry in the arc.
+type ForgetReq struct {
+	Start, End uint64
+}
+
+// AppendForgetReq encodes r as a request key.
+func AppendForgetReq(dst []byte, r ForgetReq) []byte {
+	var b [ForgetReqLen]byte
+	binary.BigEndian.PutUint64(b[0:8], r.Start)
+	binary.BigEndian.PutUint64(b[8:16], r.End)
+	return append(dst, b[:]...)
+}
+
+// ParseForgetReq decodes a FORGET request key.
+func ParseForgetReq(key []byte) (ForgetReq, error) {
+	if len(key) != ForgetReqLen {
+		return ForgetReq{}, fmt.Errorf("%w: FORGET request %d bytes", ErrBadFrame, len(key))
+	}
+	return ForgetReq{
+		Start: binary.BigEndian.Uint64(key[0:8]),
+		End:   binary.BigEndian.Uint64(key[8:16]),
+	}, nil
+}
+
+// MigrateEntry is one migrated key/value pair. Key and Val are copies owned
+// by the caller (migration is not a hot path; clarity beats reuse here).
+type MigrateEntry struct {
+	Key, Val []byte
+}
+
+// BeginMigratePage reserves the page header in dst; PatchMigratePage fills
+// it in once the entry count and next cursor are known.
+func BeginMigratePage(dst []byte) []byte {
+	return append(dst, make([]byte, migratePageHdrLen)...)
+}
+
+// AppendMigrateEntry appends one entry to a page under construction.
+func AppendMigrateEntry(dst, key, val []byte) []byte {
+	var h [migrateEntryHdr]byte
+	binary.BigEndian.PutUint16(h[0:2], uint16(len(key)))
+	binary.BigEndian.PutUint32(h[2:6], uint32(len(val)))
+	dst = append(dst, h[:]...)
+	dst = append(dst, key...)
+	return append(dst, val...)
+}
+
+// MigrateEntrySize is the encoded size of a (key, val) entry, for page
+// budget accounting before appending.
+func MigrateEntrySize(keyLen, valLen int) int {
+	return migrateEntryHdr + keyLen + valLen
+}
+
+// PatchMigratePage writes the header of a page whose body starts at off in
+// page (the value BeginMigratePage was called at). next is the cursor for
+// the following request; 0 means the scan is complete.
+func PatchMigratePage(page []byte, off int, next uint64, count uint32) {
+	binary.BigEndian.PutUint64(page[off:off+8], next)
+	binary.BigEndian.PutUint32(page[off+8:off+12], count)
+}
+
+// DecodeMigratePage parses a MIGRATE response value. Entries are copied out
+// of val. A malformed page — truncated header, entry overrunning the buffer,
+// trailing bytes — is a protocol error, never a panic.
+func DecodeMigratePage(val []byte) (next uint64, entries []MigrateEntry, err error) {
+	if len(val) < migratePageHdrLen {
+		return 0, nil, fmt.Errorf("%w: migrate page %d bytes", ErrBadFrame, len(val))
+	}
+	next = binary.BigEndian.Uint64(val[0:8])
+	count := binary.BigEndian.Uint32(val[8:12])
+	if uint64(count) > uint64(len(val)/migrateEntryHdr)+1 {
+		return 0, nil, fmt.Errorf("%w: migrate page count %d exceeds body", ErrBadFrame, count)
+	}
+	body := val[migratePageHdrLen:]
+	// Cap the preallocation: an adversarial header cannot make us reserve
+	// more than a modest slice before the per-entry bounds checks kick in.
+	capHint := count
+	if capHint > 1024 {
+		capHint = 1024
+	}
+	entries = make([]MigrateEntry, 0, capHint)
+	for i := uint32(0); i < count; i++ {
+		if len(body) < migrateEntryHdr {
+			return 0, nil, fmt.Errorf("%w: migrate entry %d truncated", ErrBadFrame, i)
+		}
+		klen := int(binary.BigEndian.Uint16(body[0:2]))
+		vlen := int(binary.BigEndian.Uint32(body[2:6]))
+		body = body[migrateEntryHdr:]
+		if klen == 0 || klen+vlen > len(body) {
+			return 0, nil, fmt.Errorf("%w: migrate entry %d overruns page", ErrBadFrame, i)
+		}
+		e := MigrateEntry{
+			Key: append([]byte(nil), body[:klen]...),
+			Val: append([]byte(nil), body[klen:klen+vlen]...),
+		}
+		body = body[klen+vlen:]
+		entries = append(entries, e)
+	}
+	if len(body) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after migrate page", ErrBadFrame, len(body))
+	}
+	return next, entries, nil
+}
+
+// Version-stamped values. The cluster layer never stores a raw payload: it
+// wraps every value in an 8-byte big-endian version stamp so replication can
+// order two copies of the same key (read-repair rewrites the older side).
+// The stamp is opaque to the server — GET/SET/MIGRATE move the envelope
+// verbatim — and total order is only guaranteed among stamps drawn from one
+// client's counter; see DESIGN.md §14 for what that does and does not buy.
+
+// StampLen is the envelope prefix size.
+const StampLen = 8
+
+// AppendStamped encodes payload under version into dst.
+func AppendStamped(dst []byte, version uint64, payload []byte) []byte {
+	var b [StampLen]byte
+	binary.BigEndian.PutUint64(b[:], version)
+	dst = append(dst, b[:]...)
+	return append(dst, payload...)
+}
+
+// SplitStamped splits a stamped envelope into its version and payload.
+// ok is false for values too short to carry a stamp.
+func SplitStamped(v []byte) (version uint64, payload []byte, ok bool) {
+	if len(v) < StampLen {
+		return 0, nil, false
+	}
+	return binary.BigEndian.Uint64(v[:StampLen]), v[StampLen:], true
+}

@@ -1,0 +1,164 @@
+package zkvproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMigrateReqRoundTrip(t *testing.T) {
+	req := MigrateReq{Start: 0x1111, End: 0xffff_eeee_dddd_cccc, Cursor: 42, MaxBytes: 1 << 20}
+	enc := AppendMigrateReq(nil, req)
+	if len(enc) != MigrateReqLen {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), MigrateReqLen)
+	}
+	got, err := ParseMigrateReq(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("round trip %+v != %+v", got, req)
+	}
+	if _, err := ParseMigrateReq(enc[:MigrateReqLen-1]); err == nil {
+		t.Fatal("short request accepted")
+	}
+}
+
+func TestForgetReqRoundTrip(t *testing.T) {
+	req := ForgetReq{Start: 7, End: 0xdead_beef}
+	enc := AppendForgetReq(nil, req)
+	if len(enc) != ForgetReqLen {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), ForgetReqLen)
+	}
+	got, err := ParseForgetReq(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("round trip %+v != %+v", got, req)
+	}
+	if _, err := ParseForgetReq(append(enc, 0)); err == nil {
+		t.Fatal("long request accepted")
+	}
+}
+
+func TestMigratePageRoundTrip(t *testing.T) {
+	entries := []MigrateEntry{
+		{Key: []byte("k1"), Val: []byte("value-one")},
+		{Key: []byte("a much longer key than the first"), Val: nil},
+		{Key: []byte{0}, Val: bytes.Repeat([]byte{0xab}, 300)},
+	}
+	page := BeginMigratePage(nil)
+	for _, e := range entries {
+		page = AppendMigrateEntry(page, e.Key, e.Val)
+	}
+	PatchMigratePage(page, 0, 777, uint32(len(entries)))
+
+	next, got, err := DecodeMigratePage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 777 {
+		t.Fatalf("next = %d, want 777", next)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("%d entries, want %d", len(got), len(entries))
+	}
+	for i, e := range entries {
+		if !bytes.Equal(got[i].Key, e.Key) || !bytes.Equal(got[i].Val, e.Val) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+	// Decoded entries are copies: mutating the page must not alias them.
+	for i := range page {
+		page[i] = 0xff
+	}
+	if !bytes.Equal(got[0].Key, entries[0].Key) {
+		t.Fatal("decoded entries alias the page buffer")
+	}
+
+	// MigrateEntrySize agrees with what AppendMigrateEntry appends.
+	p2 := BeginMigratePage(nil)
+	before := len(p2)
+	p2 = AppendMigrateEntry(p2, entries[0].Key, entries[0].Val)
+	if got, want := len(p2)-before, MigrateEntrySize(len(entries[0].Key), len(entries[0].Val)); got != want {
+		t.Fatalf("entry size %d, want %d", got, want)
+	}
+}
+
+func TestMigratePageRejectsDamage(t *testing.T) {
+	page := BeginMigratePage(nil)
+	page = AppendMigrateEntry(page, []byte("key"), []byte("val"))
+	PatchMigratePage(page, 0, 0, 1)
+
+	bad := [][]byte{
+		nil,                      // empty
+		page[:len(page)-1],       // truncated value
+		append(page, 0xcc),       // trailing junk
+		page[:migratePageHdrLen], // header claims 1 entry, none present
+	}
+	for i, b := range bad {
+		if _, _, err := DecodeMigratePage(b); err == nil {
+			t.Errorf("damaged page %d accepted", i)
+		}
+	}
+
+	// A count larger than the bytes can hold must fail, not preallocate.
+	huge := BeginMigratePage(nil)
+	PatchMigratePage(huge, 0, 0, 1<<30)
+	if _, _, err := DecodeMigratePage(huge); err == nil {
+		t.Error("absurd entry count accepted")
+	}
+}
+
+func TestStampedRoundTrip(t *testing.T) {
+	env := AppendStamped(nil, 9912, []byte("payload"))
+	ver, payload, ok := SplitStamped(env)
+	if !ok || ver != 9912 || string(payload) != "payload" {
+		t.Fatalf("round trip: ver=%d payload=%q ok=%v", ver, payload, ok)
+	}
+	env = AppendStamped(nil, 0, nil)
+	if ver, payload, ok := SplitStamped(env); !ok || ver != 0 || len(payload) != 0 {
+		t.Fatalf("empty payload: ver=%d payload=%q ok=%v", ver, payload, ok)
+	}
+	if _, _, ok := SplitStamped([]byte("short")); ok {
+		t.Fatal("7-byte value split as stamped")
+	}
+}
+
+func TestInArc(t *testing.T) {
+	cases := []struct {
+		p, start, end uint64
+		want          bool
+	}{
+		{5, 5, 5, true},   // start==end: full circle
+		{0, 9, 9, true},   // full circle holds everything
+		{5, 1, 9, true},   // interior
+		{1, 1, 9, false},  // exclusive start
+		{9, 1, 9, true},   // inclusive end
+		{10, 1, 9, false}, // outside
+		{0, 1, 9, false},  // outside, below start
+		{0, 9, 1, true},   // wrapped arc includes 0
+		{1, 9, 1, true},   // wrapped, inclusive end
+		{9, 9, 1, false},  // wrapped, exclusive start
+		{10, 9, 1, true},  // wrapped, past start
+		{5, 9, 1, false},  // wrapped, in the gap
+	}
+	for _, c := range cases {
+		if got := InArc(c.p, c.start, c.end); got != c.want {
+			t.Errorf("InArc(%d, %d, %d) = %v, want %v", c.p, c.start, c.end, got, c.want)
+		}
+	}
+}
+
+func TestRingPointDeterministic(t *testing.T) {
+	if RingPoint(1) != RingPoint(1) {
+		t.Fatal("RingPoint is not a function")
+	}
+	seen := make(map[uint64]bool)
+	for fp := uint64(0); fp < 1000; fp++ {
+		seen[RingPoint(fp)] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("1000 fingerprints produced %d distinct points", len(seen))
+	}
+}

@@ -8,8 +8,10 @@
 //	response: status(1) | valLen uint32 BE | val
 //
 // GET and DEL carry valLen 0. STATS and PING carry keyLen and valLen 0; a
-// STATS response returns the metrics text as its value. Every request gets
-// exactly one response.
+// STATS response returns the metrics text as its value. MIGRATE and FORGET —
+// the cluster resharding verbs — carry fixed-size cursor blobs as their keys
+// and answer with a migrate page / dropped count (see migrate.go). Every
+// request gets exactly one response.
 package zkvproto
 
 import (
@@ -27,6 +29,16 @@ const (
 	OpDel   = 3
 	OpStats = 4
 	OpPing  = 5
+	// OpMigrate streams one page of resident entries whose ring points fall
+	// in a requested arc (see migrate.go). The key carries a MigrateReq
+	// cursor blob; the response value is a migrate page. Idempotent: a
+	// migrate page is a read.
+	OpMigrate = 6
+	// OpForget drops every resident entry whose ring point falls in the
+	// requested arc — the source side's final step of a resharding handoff.
+	// The key carries a ForgetReq blob; the response value is the dropped
+	// count. Idempotent: forgetting an already-forgotten range drops zero.
+	OpForget = 7
 )
 
 // Response status codes.
@@ -78,7 +90,7 @@ type Response struct {
 	Val    []byte
 }
 
-func validOp(op byte) bool { return op >= OpGet && op <= OpPing }
+func validOp(op byte) bool { return op >= OpGet && op <= OpForget }
 
 // ReadFrom decodes one request frame, reusing r's buffers. io.EOF is
 // returned unwrapped only when the stream ends cleanly between frames.
@@ -111,6 +123,14 @@ func (r *Request) ReadFrom(br *bufio.Reader) error {
 	case OpStats, OpPing:
 		if keyLen != 0 || valLen != 0 {
 			return fmt.Errorf("%w: op %d with payload", ErrBadFrame, op)
+		}
+	case OpMigrate:
+		if keyLen != MigrateReqLen || valLen != 0 {
+			return fmt.Errorf("%w: MIGRATE with keyLen=%d valLen=%d", ErrBadFrame, keyLen, valLen)
+		}
+	case OpForget:
+		if keyLen != ForgetReqLen || valLen != 0 {
+			return fmt.Errorf("%w: FORGET with keyLen=%d valLen=%d", ErrBadFrame, keyLen, valLen)
 		}
 	}
 	r.Op = op
